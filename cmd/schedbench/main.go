@@ -1,0 +1,158 @@
+// Command schedbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	schedbench -exp all                # run every experiment
+//	schedbench -exp fig5               # one experiment
+//	schedbench -exp fig10 -requests 8000 -seed 7
+//
+// Output is a text table per figure: the shared x-axis followed by one
+// column per series, matching the series of the corresponding plot in the
+// paper. EXPERIMENTS.md records the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sfcsched/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(experiments.All(), ", ")+", ablations, or all")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		requests = flag.Int("requests", 0, "override request count (0 = experiment default)")
+		users    = flag.String("users", "", "fig11 only: comma-separated user counts")
+		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	ids := experiments.All()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		if err := run(os.Stdout, strings.TrimSpace(id), *seed, *requests, *users, *asCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(out io.Writer, id string, seed uint64, requests int, users string, asCSV bool) error {
+	render := func(r *experiments.Result) {
+		if asCSV {
+			r.RenderCSV(out)
+		} else {
+			r.Render(out)
+		}
+	}
+	switch id {
+	case "table1":
+		return experiments.Table1(out)
+	case "ablations":
+		return experiments.Ablations(out, seed)
+	case "fig5":
+		cfg := experiments.DefaultSFC1Config()
+		cfg.Seed = seed
+		if requests > 0 {
+			cfg.Requests = requests
+		}
+		res, err := experiments.Fig5(cfg, nil)
+		if err != nil {
+			return err
+		}
+		render(res)
+	case "fig6":
+		cfg := experiments.DefaultSFC1Config()
+		cfg.Seed = seed
+		if requests > 0 {
+			cfg.Requests = requests
+		}
+		res, err := experiments.Fig6(cfg, nil, 0.05)
+		if err != nil {
+			return err
+		}
+		render(res)
+	case "fig7":
+		cfg := experiments.DefaultSFC1Config()
+		cfg.Seed = seed
+		if requests > 0 {
+			cfg.Requests = requests
+		}
+		a, b, err := experiments.Fig7(cfg, nil)
+		if err != nil {
+			return err
+		}
+		render(a)
+		render(b)
+	case "fig8":
+		cfg := experiments.DefaultSFC2Config()
+		cfg.Seed = seed
+		if requests > 0 {
+			cfg.Requests = requests
+		}
+		a, b, err := experiments.Fig8(cfg, nil)
+		if err != nil {
+			return err
+		}
+		render(a)
+		render(b)
+	case "fig9":
+		cfg := experiments.DefaultSFC2Config()
+		cfg.Seed = seed
+		cfg.Service = 26_000 // overload so every scheduler must sacrifice
+		if requests > 0 {
+			cfg.Requests = requests
+		}
+		rs, err := experiments.Fig9(cfg, 1)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			render(r)
+		}
+	case "fig10":
+		cfg := experiments.DefaultSFC3Config()
+		cfg.Seed = seed
+		if requests > 0 {
+			cfg.Requests = requests
+		}
+		a, b, c, err := experiments.Fig10(cfg, nil)
+		if err != nil {
+			return err
+		}
+		render(a)
+		render(b)
+		render(c)
+	case "fig11", "fig11raid":
+		cfg := experiments.DefaultFig11Config()
+		cfg.Seed = seed
+		if users != "" {
+			cfg.Users = nil
+			for _, f := range strings.Split(users, ",") {
+				var u int
+				if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &u); err != nil {
+					return fmt.Errorf("bad user count %q: %v", f, err)
+				}
+				cfg.Users = append(cfg.Users, u)
+			}
+		}
+		runner := experiments.Fig11
+		if id == "fig11raid" {
+			runner = experiments.Fig11RAID
+		}
+		res, err := runner(cfg)
+		if err != nil {
+			return err
+		}
+		render(res)
+	default:
+		return fmt.Errorf("unknown experiment (known: %s)", strings.Join(experiments.All(), ", "))
+	}
+	return nil
+}

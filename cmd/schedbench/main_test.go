@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "table1", 1, 0, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3832") {
+		t.Errorf("table1 output missing cylinder count:\n%s", buf.String())
+	}
+}
+
+func TestRunEveryExperimentReduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness sweep")
+	}
+	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
+		var buf bytes.Buffer
+		if err := run(&buf, id, 1, 600, "", false); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), "== "+id) {
+			t.Errorf("%s: output missing header:\n%s", id, buf.String())
+		}
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "fig11", 1, 0, "68,72", true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# fig11") || !strings.Contains(out, "users,fcfs") {
+		t.Errorf("fig11 CSV output wrong:\n%s", out)
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig99", 1, 0, "", false); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+	if err := run(&buf, "fig11", 1, 0, "abc", false); err == nil {
+		t.Error("expected error for malformed user list")
+	}
+}

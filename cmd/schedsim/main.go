@@ -1,0 +1,171 @@
+// Command schedsim runs a single disk-scheduling simulation and prints a
+// metrics report. It is the exploratory companion of schedbench: pick any
+// scheduler (baseline or Cascaded-SFC), any workload shape, and compare.
+//
+// Usage:
+//
+//	schedsim -sched cascaded -curve hilbert -f 1 -r 3 -window 0.02
+//	schedsim -sched edf -requests 8000 -interarrival 10ms
+//	schedsim -sched all                 # every scheduler over the same trace
+//	schedsim -trace open.csv -sched all # replay a tracegen CSV file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/disk"
+	"sfcsched/internal/sched"
+	"sfcsched/internal/sfc"
+	"sfcsched/internal/sim"
+	"sfcsched/internal/workload"
+)
+
+func main() {
+	var (
+		schedName    = flag.String("sched", "cascaded", "scheduler: cascaded, fcfs, sstf, scan, cscan, edf, scan-edf, fd-scan, scan-rt, ssedo, ssedv, multi-queue, bucket, kamel, or all")
+		curve        = flag.String("curve", "hilbert", "cascaded: SFC1 curve")
+		f            = flag.Float64("f", 1, "cascaded: SFC2 balance factor")
+		r            = flag.Int("r", 3, "cascaded: SFC3 partitions (0 disables the seek stage)")
+		window       = flag.Float64("window", 0.02, "cascaded: blocking window as a fraction of the value space")
+		seed         = flag.Uint64("seed", 1, "workload seed")
+		requests     = flag.Int("requests", 5000, "request count")
+		interarrival = flag.Duration("interarrival", 13*time.Millisecond, "mean interarrival time")
+		dims         = flag.Int("dims", 3, "priority dimensions")
+		levels       = flag.Int("levels", 8, "priority levels per dimension")
+		deadlineMin  = flag.Duration("deadline-min", 500*time.Millisecond, "minimum relative deadline (0 disables deadlines)")
+		deadlineMax  = flag.Duration("deadline-max", 700*time.Millisecond, "maximum relative deadline")
+		sizeMin      = flag.Int64("size-min", 4<<10, "transfer size of the highest priority, bytes")
+		sizeMax      = flag.Int64("size-max", 256<<10, "transfer size of the lowest priority, bytes")
+		drop         = flag.Bool("drop", true, "drop requests whose deadline passed before service")
+		traceFile    = flag.String("trace", "", "replay a tracegen CSV file instead of generating a workload")
+	)
+	flag.Parse()
+
+	m, err := disk.NewModel(disk.QuantumXP32150Params())
+	if err != nil {
+		fatal(err)
+	}
+	var trace []*core.Request
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		trace, err = workload.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sim.SortByArrival(trace)
+		*dims = 0
+		for _, r := range trace {
+			if len(r.Priorities) > *dims {
+				*dims = len(r.Priorities)
+			}
+		}
+	} else {
+		trace, err = workload.Open{
+			Seed:             *seed,
+			Count:            *requests,
+			MeanInterarrival: interarrival.Microseconds(),
+			Dims:             *dims,
+			Levels:           *levels,
+			DeadlineMin:      deadlineMin.Microseconds(),
+			DeadlineMax:      deadlineMax.Microseconds(),
+			Cylinders:        m.Cylinders,
+			SizeMin:          *sizeMin,
+			SizeMax:          *sizeMax,
+		}.Generate()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	names := []string{*schedName}
+	if *schedName == "all" {
+		names = []string{"cascaded", "fcfs", "sstf", "scan", "cscan", "edf", "scan-edf",
+			"fd-scan", "scan-rt", "ssedo", "ssedv", "multi-queue", "bucket", "kamel"}
+	}
+	fmt.Printf("%-12s %8s %8s %8s %10s %10s %12s\n",
+		"scheduler", "served", "dropped", "late", "seek(s)", "busy(s)", "inversions")
+	for _, name := range names {
+		s, err := build(name, m, *curve, *f, *r, *window, *levels, *dims, deadlineMax.Microseconds())
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Disk: m, Scheduler: s, DropLate: *drop,
+			Dims: *dims, Levels: *levels, Seed: *seed,
+		}, trace)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s %8d %8d %8d %10.2f %10.2f %12d\n",
+			name, res.Served, res.Dropped, res.Late,
+			float64(res.SeekTime)/1e6, float64(res.ServiceTime)/1e6, res.TotalInversions())
+	}
+}
+
+// build constructs the named scheduler.
+func build(name string, m *disk.Model, curve string, f float64, r int, window float64, levels, dims int, horizon int64) (sched.Scheduler, error) {
+	est := m.ServiceTime
+	switch name {
+	case "cascaded":
+		cv, err := sfc.New(curve, dims, uint32(levels))
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.EncapsulatorConfig{Curve1: cv, Levels: levels}
+		if horizon > 0 {
+			cfg.UseDeadline = true
+			cfg.F = f
+			cfg.DeadlineHorizon = horizon
+			cfg.DeadlineSpan = horizon
+			cfg.DeadlineSlack = true
+		}
+		if r > 0 {
+			cfg.UseCylinder = true
+			cfg.R = r
+			cfg.Cylinders = m.Cylinders
+		}
+		return core.NewScheduler("cascaded", cfg,
+			core.DispatcherConfig{Mode: core.ConditionallyPreemptive, SP: true}, window)
+	case "fcfs":
+		return sched.NewFCFS(), nil
+	case "sstf":
+		return sched.NewSSTF(), nil
+	case "scan":
+		return sched.NewSCAN(), nil
+	case "cscan":
+		return sched.NewCSCAN(), nil
+	case "edf":
+		return sched.NewEDF(), nil
+	case "scan-edf":
+		return sched.NewSCANEDF(50_000), nil
+	case "fd-scan":
+		return sched.NewFDSCAN(est), nil
+	case "scan-rt":
+		return sched.NewSCANRT(est), nil
+	case "ssedo":
+		return sched.NewSSEDO(0, 0), nil
+	case "ssedv":
+		return sched.NewSSEDV(0, 0), nil
+	case "multi-queue":
+		return sched.NewMultiQueue(levels), nil
+	case "bucket":
+		return sched.NewBUCKET(), nil
+	case "kamel":
+		return sched.NewKamel(est), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "schedsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sfcsched/internal/sfc"
+)
+
+func TestDrawContinuousCurveHasNoJumpGlyphs(t *testing.T) {
+	var buf bytes.Buffer
+	draw(&buf, sfc.MustNew("hilbert", 2, 8))
+	out := buf.String()
+	if strings.Contains(out, "○") {
+		t.Errorf("continuous curve rendered a jump glyph:\n%s", out)
+	}
+	if !strings.Contains(out, "●") {
+		t.Errorf("start glyph missing:\n%s", out)
+	}
+	// 8 rows of 8 cells, none left unvisited.
+	if strings.Contains(out, "·") {
+		t.Errorf("unvisited cells in a space-filling walk:\n%s", out)
+	}
+}
+
+func TestDrawSweepShowsJumps(t *testing.T) {
+	var buf bytes.Buffer
+	draw(&buf, sfc.MustNew("sweep", 2, 8))
+	if !strings.Contains(buf.String(), "○") {
+		t.Error("sweep's line-wrap jumps should render as ○")
+	}
+}
+
+func TestPrintOrderCoversGrid(t *testing.T) {
+	var buf bytes.Buffer
+	printOrder(&buf, sfc.MustNew("scan", 2, 4))
+	out := buf.String()
+	for _, want := range []string{"scan (4x4)", "15", " 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("order table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := printStats(&buf, []string{"hilbert", "spiral"}, 3, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "hilbert") {
+		t.Errorf("stats missing hilbert row:\n%s", out)
+	}
+	if !strings.Contains(out, "order-only") {
+		t.Errorf("3-D spiral should report order-only:\n%s", out)
+	}
+	if err := printStats(&buf, []string{"nope"}, 2, 8); err == nil {
+		t.Error("expected error for unknown curve")
+	}
+}

@@ -1,0 +1,82 @@
+// Command tracegen emits deterministic workload traces as CSV, so external
+// tools (or other simulators) can replay the exact request streams the
+// experiments use. workload.ReadCSV parses the format back.
+//
+// Usage:
+//
+//	tracegen -kind open -requests 5000 > open.csv
+//	tracegen -kind streams -users 80 -duration 40s > streams.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/workload"
+)
+
+func main() {
+	var (
+		kind         = flag.String("kind", "open", "workload kind: open or streams")
+		seed         = flag.Uint64("seed", 1, "workload seed")
+		requests     = flag.Int("requests", 5000, "open: request count")
+		interarrival = flag.Duration("interarrival", 25*time.Millisecond, "open: mean interarrival")
+		dims         = flag.Int("dims", 3, "open: priority dimensions")
+		levels       = flag.Int("levels", 8, "priority levels")
+		deadlineMin  = flag.Duration("deadline-min", 500*time.Millisecond, "minimum relative deadline")
+		deadlineMax  = flag.Duration("deadline-max", 700*time.Millisecond, "maximum relative deadline")
+		cylinders    = flag.Int("cylinders", 3832, "disk cylinders")
+		users        = flag.Int("users", 80, "streams: concurrent streams")
+		duration     = flag.Duration("duration", 40*time.Second, "streams: simulated duration")
+		bitrate      = flag.Float64("bitrate", 420_000, "streams: per-stream bits/s")
+	)
+	flag.Parse()
+
+	var (
+		trace []*core.Request
+		err   error
+	)
+	outDims := *dims
+	switch *kind {
+	case "open":
+		trace, err = workload.Open{
+			Seed:             *seed,
+			Count:            *requests,
+			MeanInterarrival: interarrival.Microseconds(),
+			Dims:             *dims,
+			Levels:           *levels,
+			DeadlineMin:      deadlineMin.Microseconds(),
+			DeadlineMax:      deadlineMax.Microseconds(),
+			Cylinders:        *cylinders,
+			SizeMin:          4 << 10,
+			SizeMax:          256 << 10,
+		}.Generate()
+	case "streams":
+		outDims = 1
+		trace, err = workload.Streams{
+			Seed:        *seed,
+			Users:       *users,
+			Duration:    duration.Microseconds(),
+			BitRate:     *bitrate,
+			BlockSize:   64 << 10,
+			Levels:      *levels,
+			DeadlineMin: deadlineMin.Microseconds(),
+			DeadlineMax: deadlineMax.Microseconds(),
+			Cylinders:   *cylinders,
+			WriteFrac:   0.2,
+			Burst:       3,
+		}.Generate()
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err == nil {
+		err = workload.WriteCSV(os.Stdout, trace, outDims)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}

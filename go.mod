@@ -1,0 +1,3 @@
+module sfcsched
+
+go 1.22

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// PreemptMode selects the dispatcher's queue discipline (paper §3).
+type PreemptMode int
+
+const (
+	// NonPreemptive serves the current batch to completion: arrivals wait
+	// in q' and the queues swap when q drains. Starvation-free, but higher
+	// priority arrivals wait behind the whole batch.
+	NonPreemptive PreemptMode = iota
+	// FullyPreemptive keeps a single queue ordered by v_c. Maximally
+	// responsive, but a stream of high-priority arrivals starves the rest.
+	FullyPreemptive
+	// ConditionallyPreemptive lets an arrival jump into the serving queue
+	// only when its value beats the current request by more than the
+	// blocking window w.
+	ConditionallyPreemptive
+)
+
+// String implements fmt.Stringer.
+func (m PreemptMode) String() string {
+	switch m {
+	case NonPreemptive:
+		return "non-preemptive"
+	case FullyPreemptive:
+		return "fully-preemptive"
+	case ConditionallyPreemptive:
+		return "conditionally-preemptive"
+	default:
+		return fmt.Sprintf("PreemptMode(%d)", int(m))
+	}
+}
+
+// DispatcherConfig configures the dispatcher ("Part 2" of Fig. 2).
+type DispatcherConfig struct {
+	Mode PreemptMode
+	// Window is the blocking window w: an arrival preempts only if its
+	// value is below the current request's value minus Window. 0 behaves
+	// fully preemptively; a huge value behaves non-preemptively. Only
+	// meaningful in ConditionallyPreemptive mode.
+	Window uint64
+	// SP enables the Serve-and-Promote policy (§3.2): before each
+	// dispatch, waiting requests that now clear the window against the
+	// next request are promoted into the serving queue.
+	SP bool
+	// ER enables the Expand-and-Reset starvation guard (§3.3): every
+	// preemption multiplies the window by Expansion; dispatching a
+	// non-preempting request resets it to Window.
+	ER bool
+	// Expansion is the ER growth factor e (> 1). Defaults to 2 when ER is
+	// set and Expansion is zero.
+	Expansion float64
+}
+
+// entry is one queued request with its characterization value.
+type entry struct {
+	v         uint64
+	seq       uint64 // FIFO tie-break
+	req       *Request
+	preempter bool // entered q by preemption or promotion
+}
+
+// vheap is a min-heap of entries ordered by (v, seq).
+type vheap []*entry
+
+func (h vheap) Len() int { return len(h) }
+func (h vheap) Less(i, j int) bool {
+	if h[i].v != h[j].v {
+		return h[i].v < h[j].v
+	}
+	return h[i].seq < h[j].seq
+}
+func (h vheap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *vheap) Push(x any)   { *h = append(*h, x.(*entry)) }
+func (h *vheap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h vheap) peek() *entry { return h[0] }
+
+// DispatchStats counts dispatcher policy events.
+type DispatchStats struct {
+	Preemptions uint64 // arrivals that jumped into the serving queue
+	Promotions  uint64 // SP promotions from q' into q
+	Swaps       uint64 // q/q' batch swaps
+}
+
+// Dispatcher drains requests in characterization-value order under the
+// configured preemption policy. It is not safe for concurrent use.
+type Dispatcher struct {
+	cfg   DispatcherConfig
+	q     vheap // serving queue
+	qw    vheap // waiting queue q'
+	cur   *entry
+	w     uint64 // current window (ER may expand it)
+	seq   uint64
+	stats DispatchStats
+}
+
+// NewDispatcher returns a dispatcher for cfg.
+func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
+	if cfg.Mode < NonPreemptive || cfg.Mode > ConditionallyPreemptive {
+		return nil, fmt.Errorf("core: unknown preempt mode %d", cfg.Mode)
+	}
+	if cfg.ER {
+		if cfg.Expansion == 0 {
+			cfg.Expansion = 2
+		}
+		if cfg.Expansion <= 1 {
+			return nil, fmt.Errorf("core: ER expansion must be > 1, got %v", cfg.Expansion)
+		}
+	}
+	return &Dispatcher{cfg: cfg, w: cfg.Window}, nil
+}
+
+// MustDispatcher is NewDispatcher for static configurations.
+func MustDispatcher(cfg DispatcherConfig) *Dispatcher {
+	d, err := NewDispatcher(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Window returns the current blocking window (ER may have expanded it).
+func (d *Dispatcher) Window() uint64 { return d.w }
+
+// Stats returns the policy-event counters so far.
+func (d *Dispatcher) Stats() DispatchStats { return d.stats }
+
+// Len returns the number of queued (not yet dispatched) requests.
+func (d *Dispatcher) Len() int { return len(d.q) + len(d.qw) }
+
+// Add enqueues r with characterization value v.
+func (d *Dispatcher) Add(r *Request, v uint64) {
+	e := &entry{v: v, seq: d.seq, req: r}
+	d.seq++
+	switch d.cfg.Mode {
+	case FullyPreemptive:
+		heap.Push(&d.q, e)
+	case NonPreemptive:
+		heap.Push(&d.qw, e)
+	case ConditionallyPreemptive:
+		if d.cur != nil && d.clearsWindow(v, d.cur.v) {
+			e.preempter = true
+			d.notePreemption()
+			heap.Push(&d.q, e)
+		} else {
+			heap.Push(&d.qw, e)
+		}
+	}
+}
+
+// clearsWindow reports whether value v is significantly higher priority
+// than reference ref, i.e. v < ref - w without underflow.
+func (d *Dispatcher) clearsWindow(v, ref uint64) bool {
+	return ref > d.w && v < ref-d.w
+}
+
+// notePreemption applies the ER expansion and counts the event.
+func (d *Dispatcher) notePreemption() {
+	d.stats.Preemptions++
+	if d.cfg.ER {
+		nw := uint64(float64(d.w) * d.cfg.Expansion)
+		if nw <= d.w { // w == 0 or float saturation
+			nw = d.w + 1
+		}
+		d.w = nw
+	}
+}
+
+// Next dispatches the highest-priority request, or nil when empty. The
+// returned request is considered in service until the following Next call.
+func (d *Dispatcher) Next() *Request {
+	if len(d.q) == 0 {
+		if len(d.qw) == 0 {
+			d.cur = nil
+			return nil
+		}
+		d.q, d.qw = d.qw, d.q
+		d.stats.Swaps++
+		// A swapped-in batch is the new serving set; none of its members
+		// preempted anything.
+		for _, e := range d.q {
+			e.preempter = false
+		}
+	}
+	if d.cfg.Mode == ConditionallyPreemptive && d.cfg.SP && len(d.qw) > 0 {
+		d.promote()
+	}
+	e := heap.Pop(&d.q).(*entry)
+	if d.cfg.ER && !e.preempter {
+		d.w = d.cfg.Window
+	}
+	d.cur = e
+	return e.req
+}
+
+// promote implements SP: any waiting request that clears the window
+// against the next serving-queue request joins the serving queue.
+func (d *Dispatcher) promote() {
+	next := d.q.peek()
+	for len(d.qw) > 0 && d.clearsWindow(d.qw.peek().v, next.v) {
+		e := heap.Pop(&d.qw).(*entry)
+		e.preempter = true
+		d.stats.Promotions++
+		if d.cfg.ER {
+			d.noteERPromotion()
+		}
+		heap.Push(&d.q, e)
+		next = d.q.peek()
+	}
+}
+
+// noteERPromotion expands the window for a promotion without double
+// counting it as an arrival preemption.
+func (d *Dispatcher) noteERPromotion() {
+	nw := uint64(float64(d.w) * d.cfg.Expansion)
+	if nw <= d.w {
+		nw = d.w + 1
+	}
+	d.w = nw
+}
+
+// Each visits every queued request (serving and waiting queues, not the
+// in-service one). Metrics use it to sample priority inversions.
+func (d *Dispatcher) Each(visit func(*Request)) {
+	for _, e := range d.q {
+		visit(e.req)
+	}
+	for _, e := range d.qw {
+		visit(e.req)
+	}
+}

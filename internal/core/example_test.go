@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"fmt"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/sfc"
+)
+
+// ExampleScheduler builds the full three-stage cascade and dispatches a
+// mixed batch: the high-priority tight-deadline request wins, the
+// low-priority far-cylinder one goes last.
+func ExampleScheduler() {
+	s := core.MustScheduler("example",
+		core.EncapsulatorConfig{
+			Curve1: sfc.MustNew("hilbert", 2, 8),
+			Levels: 8,
+
+			UseDeadline:     true,
+			F:               1,
+			DeadlineHorizon: 1_000_000,
+			DeadlineSpan:    1_000_000,
+			DeadlineSlack:   true,
+
+			UseCylinder: true,
+			R:           3,
+			Cylinders:   3832,
+		},
+		core.DispatcherConfig{Mode: core.FullyPreemptive},
+		0,
+	)
+	s.Add(&core.Request{ID: 1, Priorities: []int{7, 7}, Deadline: 900_000, Cylinder: 3500}, 0, 0)
+	s.Add(&core.Request{ID: 2, Priorities: []int{0, 0}, Deadline: 200_000, Cylinder: 200}, 0, 0)
+	s.Add(&core.Request{ID: 3, Priorities: []int{3, 4}, Deadline: 600_000, Cylinder: 1500}, 0, 0)
+	head := 0
+	for r := s.Next(0, head); r != nil; r = s.Next(0, head) {
+		fmt.Println("serve", r.ID)
+		head = r.Cylinder
+	}
+	// Output:
+	// serve 2
+	// serve 3
+	// serve 1
+}
+
+// ExampleDispatcher replays the paper's Figure 4 walk-through: with a
+// blocking window of 20 and the Serve-and-Promote policy, requests
+// T1..T7 are served in the order T1, T2, T5, T6, T3, T7, T4.
+func ExampleDispatcher() {
+	d := core.MustDispatcher(core.DispatcherConfig{
+		Mode:   core.ConditionallyPreemptive,
+		Window: 20,
+		SP:     true,
+	})
+	vals := map[uint64]uint64{1: 55, 2: 40, 3: 45, 4: 90, 5: 5, 6: 22, 7: 30}
+	d.Add(&core.Request{ID: 1}, vals[1])
+	fmt.Println("serve", d.Next().ID)
+	for _, id := range []uint64{2, 3, 4} {
+		d.Add(&core.Request{ID: id}, vals[id])
+	}
+	fmt.Println("serve", d.Next().ID)
+	for _, id := range []uint64{5, 6, 7} {
+		d.Add(&core.Request{ID: id}, vals[id])
+	}
+	for r := d.Next(); r != nil; r = d.Next() {
+		fmt.Println("serve", r.ID)
+	}
+	// Output:
+	// serve 1
+	// serve 2
+	// serve 5
+	// serve 6
+	// serve 3
+	// serve 7
+	// serve 4
+}
+
+// ExampleEmulateEDF shows the §4.2 generalization: the framework acting
+// as plain earliest-deadline-first.
+func ExampleEmulateEDF() {
+	s := core.EmulateEDF()
+	s.Add(&core.Request{ID: 1, Deadline: 500}, 0, 0)
+	s.Add(&core.Request{ID: 2, Deadline: 100}, 0, 0)
+	s.Add(&core.Request{ID: 3, Deadline: 300}, 0, 0)
+	for r := s.Next(0, 0); r != nil; r = s.Next(0, 0) {
+		fmt.Println("serve", r.ID)
+	}
+	// Output:
+	// serve 2
+	// serve 3
+	// serve 1
+}

@@ -1,0 +1,97 @@
+package core
+
+import "fmt"
+
+// Scheduler couples an Encapsulator with a Dispatcher into the complete
+// Cascaded-SFC disk scheduler. It satisfies the scheduler contract used by
+// the simulator: values are computed at enqueue time (including the SFC3
+// head-relative seek dimension, as in the paper).
+type Scheduler struct {
+	enc  *Encapsulator
+	disp *Dispatcher
+	name string
+
+	// Scan-timeline tracking for the SFC3 stage: cumulative cylinders the
+	// head has swept (cyclically) and the last head position observed.
+	progress uint64
+	lastHead int
+}
+
+// NewScheduler builds the full scheduler. If dcfg.Window is zero and
+// windowFrac is positive, the blocking window is set to windowFrac of the
+// encapsulator's value space — the unit the paper's experiments use.
+func NewScheduler(name string, ecfg EncapsulatorConfig, dcfg DispatcherConfig, windowFrac float64) (*Scheduler, error) {
+	enc, err := NewEncapsulator(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	if windowFrac < 0 || windowFrac > 1 {
+		return nil, fmt.Errorf("core: window fraction %v outside [0,1]", windowFrac)
+	}
+	if dcfg.Window == 0 && windowFrac > 0 {
+		dcfg.Window = uint64(windowFrac * float64(enc.MaxValue()))
+	}
+	disp, err := NewDispatcher(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = "cascaded-sfc"
+	}
+	return &Scheduler{enc: enc, disp: disp, name: name}, nil
+}
+
+// MustScheduler is NewScheduler for static configurations.
+func MustScheduler(name string, ecfg EncapsulatorConfig, dcfg DispatcherConfig, windowFrac float64) *Scheduler {
+	s, err := NewScheduler(name, ecfg, dcfg, windowFrac)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the scheduler's display name.
+func (s *Scheduler) Name() string { return s.name }
+
+// Encapsulator exposes the value mapper (e.g. for window sizing).
+func (s *Scheduler) Encapsulator() *Encapsulator { return s.enc }
+
+// Dispatcher exposes the queue machinery (e.g. for policy stats).
+func (s *Scheduler) Dispatcher() *Dispatcher { return s.disp }
+
+// observeHead advances the sweep timeline to the given head position.
+// Any movement counts as forward cyclic progress, which is exact while the
+// scheduler itself drives the head in sweep order.
+func (s *Scheduler) observeHead(head int) {
+	c := s.enc.cfg.Cylinders
+	if c <= 0 {
+		return
+	}
+	if head < 0 {
+		head = 0
+	}
+	if head >= c {
+		head = c - 1
+	}
+	s.progress += uint64((head - s.lastHead + c) % c)
+	s.lastHead = head
+}
+
+// Add enqueues r, computing its characterization value at time now with
+// the disk head at cylinder head.
+func (s *Scheduler) Add(r *Request, now int64, head int) {
+	s.observeHead(head)
+	s.disp.Add(r, s.enc.ValueAt(r, now, head, s.progress))
+}
+
+// Next dispatches the next request, or nil when idle.
+func (s *Scheduler) Next(now int64, head int) *Request {
+	s.observeHead(head)
+	return s.disp.Next()
+}
+
+// Len returns the number of queued requests.
+func (s *Scheduler) Len() int { return s.disp.Len() }
+
+// Each visits all queued requests.
+func (s *Scheduler) Each(visit func(*Request)) { s.disp.Each(visit) }

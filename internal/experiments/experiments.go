@@ -1,0 +1,158 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5 Performance Analysis, §6 Practical Considerations):
+//
+//	Table 1  — disk model parameters           (Table1)
+//	Fig. 5   — priority inversion vs window    (Fig5)
+//	Fig. 6   — scalability vs dimensionality   (Fig6)
+//	Fig. 7   — fairness across dimensions      (Fig7)
+//	Fig. 8   — deadline/priority balance (f)   (Fig8)
+//	Fig. 9   — selectivity of deadline misses  (Fig9)
+//	Fig. 10  — seek optimization (R)           (Fig10)
+//	Fig. 11  — §6 aggregate weighted losses    (Fig11)
+//
+// Each experiment returns a Result holding labeled series that the
+// cmd/schedbench tool renders as text tables. Absolute values differ from
+// the paper (different hardware era, simulated substrate); the claims under
+// test are the *shapes*: who wins, by what rough factor, and where the
+// crossovers sit. EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one labeled line of an experiment plot.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Result is a rendered experiment: a shared X axis and one or more series.
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	// Notes documents parameter substitutions and measurement caveats.
+	Notes []string
+}
+
+// AddSeries appends a series, enforcing length consistency with X.
+func (r *Result) AddSeries(name string, y []float64) error {
+	if len(y) != len(r.X) {
+		return fmt.Errorf("experiments: series %q has %d points, x-axis has %d", name, len(y), len(r.X))
+	}
+	r.Series = append(r.Series, Series{Name: name, Y: y})
+	return nil
+}
+
+// RenderCSV writes the result as a CSV table: a comment header line with
+// the experiment id and title, then the x column followed by one column
+// per series.
+func (r *Result) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s: %s\n", r.ID, r.Title)
+	header := []string{r.XLabel}
+	for _, s := range r.Series {
+		header = append(header, s.Name)
+	}
+	fmt.Fprintln(w, strings.Join(header, ","))
+	for i := range r.X {
+		row := []string{formatNum(r.X[i])}
+		for _, s := range r.Series {
+			row = append(row, formatNum(s.Y[i]))
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+	fmt.Fprintln(w)
+}
+
+// Render writes the result as an aligned text table.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if r.YLabel != "" {
+		fmt.Fprintf(w, "   y: %s\n", r.YLabel)
+	}
+	header := make([]string, 0, len(r.Series)+1)
+	header = append(header, r.XLabel)
+	for _, s := range r.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for i := range r.X {
+		row := []string{formatNum(r.X[i])}
+		for _, s := range r.Series {
+			row = append(row, formatNum(s.Y[i]))
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(w, rows)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// formatNum renders a float compactly.
+func formatNum(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e9 && v > -1e9:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// writeAligned prints rows as space-padded columns.
+func writeAligned(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		b.WriteString("   ")
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			b.WriteString(cell)
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+// percent returns 100*num/den, or 0 when den is zero.
+func percent(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * num / den
+}
+
+// ratio returns num/den, or 0 when den is zero.
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// All lists the experiment IDs in paper order. fig11raid is the §6
+// experiment on the full RAID-5 array at the paper's unscaled bit rate.
+func All() []string {
+	return []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig11raid"}
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/sched"
+	"sfcsched/internal/sfc"
+	"sfcsched/internal/sim"
+	"sfcsched/internal/stats"
+	"sfcsched/internal/workload"
+)
+
+// SFC1Config drives the stage-1 experiments (Figs. 5-7): relaxed deadlines
+// and transfer-dominated service, so SFC2 and SFC3 are skipped and the
+// priority curve is evaluated in isolation (paper §5.1).
+type SFC1Config struct {
+	Seed     uint64
+	Requests int
+	Dims     int
+	Levels   int
+	// MeanInterarrival is the Poisson mean, µs (paper: 25 ms).
+	MeanInterarrival int64
+	// Service is the constant transfer-dominated service time, µs. The
+	// paper holds it implicit; near the interarrival mean keeps a live
+	// queue without unbounded growth.
+	Service int64
+}
+
+// DefaultSFC1Config returns the §5.1 parameters.
+func DefaultSFC1Config() SFC1Config {
+	return SFC1Config{
+		Seed:             1,
+		Requests:         4000,
+		Dims:             4,
+		Levels:           16,
+		MeanInterarrival: 25_000,
+		Service:          24_000,
+	}
+}
+
+// trace generates the experiment's workload.
+func (c SFC1Config) trace() ([]*core.Request, error) {
+	return workload.Open{
+		Seed:             c.Seed,
+		Count:            c.Requests,
+		MeanInterarrival: c.MeanInterarrival,
+		Dims:             c.Dims,
+		Levels:           c.Levels,
+	}.Generate()
+}
+
+// run simulates one scheduler over the stage-1 workload.
+func (c SFC1Config) run(s sched.Scheduler, trace []*core.Request) (*sim.Result, error) {
+	return sim.Run(sim.Config{
+		Scheduler:    s,
+		FixedService: c.Service,
+		Dims:         c.Dims,
+		Levels:       c.Levels,
+		Seed:         c.Seed,
+	}, trace)
+}
+
+// scheduler builds the Cascaded-SFC scheduler reduced to SFC1 only.
+func (c SFC1Config) scheduler(curve string, dims int, windowFrac float64) (*core.Scheduler, error) {
+	cv, err := sfc.New(curve, dims, uint32(c.Levels))
+	if err != nil {
+		return nil, err
+	}
+	return core.NewScheduler(
+		fmt.Sprintf("%s-w%.0f%%", curve, windowFrac*100),
+		core.EncapsulatorConfig{Curve1: cv, Levels: c.Levels},
+		core.DispatcherConfig{Mode: core.ConditionallyPreemptive, SP: true},
+		windowFrac,
+	)
+}
+
+// Fig5 measures total priority inversion (as % of FIFO) against the
+// blocking-window size for each of the paper's seven curves.
+func Fig5(cfg SFC1Config, windowsPct []float64) (*Result, error) {
+	if len(windowsPct) == 0 {
+		windowsPct = []float64{0, 1, 2, 5, 10, 20, 40, 60, 80, 100}
+	}
+	trace, err := cfg.trace()
+	if err != nil {
+		return nil, err
+	}
+	fifo, err := cfg.run(sched.NewFCFS(), trace)
+	if err != nil {
+		return nil, err
+	}
+	base := float64(fifo.TotalInversions())
+	res := &Result{
+		ID:     "fig5",
+		Title:  "Priority inversion vs window size (percent of FIFO)",
+		XLabel: "window%",
+		YLabel: "total priority inversions, % of FIFO",
+		X:      windowsPct,
+		Notes: []string{
+			fmt.Sprintf("dims=%d levels=%d interarrival=%dus service=%dus requests=%d",
+				cfg.Dims, cfg.Levels, cfg.MeanInterarrival, cfg.Service, cfg.Requests),
+			fmt.Sprintf("FIFO baseline inversions: %.0f", base),
+		},
+	}
+	for _, curve := range sfc.PaperNames() {
+		ys := make([]float64, len(windowsPct))
+		for i, wp := range windowsPct {
+			s, err := cfg.scheduler(curve, cfg.Dims, wp/100)
+			if err != nil {
+				return nil, err
+			}
+			r, err := cfg.run(s, trace)
+			if err != nil {
+				return nil, err
+			}
+			ys[i] = percent(float64(r.TotalInversions()), base)
+		}
+		if err := res.AddSeries(curve, ys); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Fig6 measures total priority inversion (% of FIFO) as the number of QoS
+// dimensions grows — the scalability claim.
+func Fig6(cfg SFC1Config, dims []float64, windowFrac float64) (*Result, error) {
+	if len(dims) == 0 {
+		dims = []float64{1, 2, 3, 4, 6, 8, 10, 12}
+	}
+	if windowFrac == 0 {
+		windowFrac = 0.05
+	}
+	res := &Result{
+		ID:     "fig6",
+		Title:  "Scalability: priority inversion vs number of dimensions",
+		XLabel: "dims",
+		YLabel: "total priority inversions, % of FIFO",
+		X:      dims,
+		Notes: []string{
+			fmt.Sprintf("levels=%d window=%.0f%% interarrival=%dus service=%dus requests=%d",
+				cfg.Levels, windowFrac*100, cfg.MeanInterarrival, cfg.Service, cfg.Requests),
+		},
+	}
+	type key struct{ curve string }
+	ys := map[key][]float64{}
+	for _, df := range dims {
+		d := int(df)
+		dcfg := cfg
+		dcfg.Dims = d
+		trace, err := dcfg.trace()
+		if err != nil {
+			return nil, err
+		}
+		fifo, err := dcfg.run(sched.NewFCFS(), trace)
+		if err != nil {
+			return nil, err
+		}
+		base := float64(fifo.TotalInversions())
+		for _, curve := range sfc.PaperNames() {
+			s, err := dcfg.scheduler(curve, d, windowFrac)
+			if err != nil {
+				return nil, err
+			}
+			r, err := dcfg.run(s, trace)
+			if err != nil {
+				return nil, err
+			}
+			ys[key{curve}] = append(ys[key{curve}], percent(float64(r.TotalInversions()), base))
+		}
+	}
+	for _, curve := range sfc.PaperNames() {
+		if err := res.AddSeries(curve, ys[key{curve}]); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Fig7 measures fairness: (a) the standard deviation of the per-dimension
+// inversion percentages and (b) the most favored dimension's inversion
+// percentage, both against window size. The two sub-figures are returned
+// separately.
+func Fig7(cfg SFC1Config, windowsPct []float64) (a, b *Result, err error) {
+	if len(windowsPct) == 0 {
+		windowsPct = []float64{0, 1, 2, 5, 10, 20, 40, 60, 80, 100}
+	}
+	trace, err := cfg.trace()
+	if err != nil {
+		return nil, nil, err
+	}
+	fifo, err := cfg.run(sched.NewFCFS(), trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	note := fmt.Sprintf("dims=%d levels=%d interarrival=%dus service=%dus requests=%d",
+		cfg.Dims, cfg.Levels, cfg.MeanInterarrival, cfg.Service, cfg.Requests)
+	a = &Result{
+		ID: "fig7a", Title: "Fairness: stddev of per-dimension inversion (% of FIFO)",
+		XLabel: "window%", YLabel: "stddev of per-dimension inversion percentages",
+		X: windowsPct, Notes: []string{note},
+	}
+	b = &Result{
+		ID: "fig7b", Title: "Favored dimension: lowest per-dimension inversion (% of FIFO)",
+		XLabel: "window%", YLabel: "favored dimension inversion percentage",
+		X: windowsPct, Notes: []string{note},
+	}
+	for _, curve := range sfc.PaperNames() {
+		sds := make([]float64, len(windowsPct))
+		favs := make([]float64, len(windowsPct))
+		for i, wp := range windowsPct {
+			s, err := cfg.scheduler(curve, cfg.Dims, wp/100)
+			if err != nil {
+				return nil, nil, err
+			}
+			r, err := cfg.run(s, trace)
+			if err != nil {
+				return nil, nil, err
+			}
+			pcts := make([]float64, cfg.Dims)
+			fav := -1.0
+			for k := 0; k < cfg.Dims; k++ {
+				pcts[k] = percent(float64(r.InversionsPerDim[k]), float64(fifo.InversionsPerDim[k]))
+				if fav < 0 || pcts[k] < fav {
+					fav = pcts[k]
+				}
+			}
+			sds[i] = stddev(pcts)
+			favs[i] = fav
+		}
+		if err := a.AddSeries(curve, sds); err != nil {
+			return nil, nil, err
+		}
+		if err := b.AddSeries(curve, favs); err != nil {
+			return nil, nil, err
+		}
+	}
+	return a, b, nil
+}
+
+func stddev(vs []float64) float64 {
+	_, sd := stats.MeanStdDev(vs)
+	return sd
+}

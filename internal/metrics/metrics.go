@@ -1,0 +1,211 @@
+// Package metrics collects the evaluation quantities of the paper's §5-6:
+// per-dimension priority inversions (Figs. 5-7, 10a), deadline misses per
+// priority level and dimension (Figs. 8-10b), seek time (Fig. 10c),
+// fairness (stddev of per-dimension inversions, Fig. 7a) and the §6
+// weighted-loss cost function (Fig. 11).
+package metrics
+
+import (
+	"fmt"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/stats"
+)
+
+// Collector accumulates run metrics. Create one per simulation run.
+type Collector struct {
+	dims   int
+	levels int
+
+	// InversionsPerDim[k] counts, summed over every dispatch, the pending
+	// requests that had strictly higher priority than the dispatched one
+	// in dimension k (the paper's §5.1 definition).
+	InversionsPerDim []uint64
+
+	// MissesPerDimLevel[k][l] counts deadline misses of requests whose
+	// priority in dimension k was level l.
+	MissesPerDimLevel [][]uint64
+	// RequestsPerDimLevel[k][l] counts all arrived requests by level.
+	RequestsPerDimLevel [][]uint64
+
+	Arrived uint64
+	Served  uint64
+	Dropped uint64 // deadline passed before service started
+	Late    uint64 // served, but finished after the deadline
+
+	SeekTime     int64 // total head-movement time, µs
+	ServiceTime  int64 // total busy time, µs
+	Makespan     int64 // completion time of the run, µs
+	WaitingTimes stats.Summary
+}
+
+// NewCollector returns a collector for requests with the given number of
+// priority dimensions and levels per dimension.
+func NewCollector(dims, levels int) *Collector {
+	if dims < 0 {
+		dims = 0
+	}
+	if levels < 1 {
+		levels = 1
+	}
+	c := &Collector{
+		dims:                dims,
+		levels:              levels,
+		InversionsPerDim:    make([]uint64, dims),
+		MissesPerDimLevel:   make([][]uint64, dims),
+		RequestsPerDimLevel: make([][]uint64, dims),
+	}
+	for k := 0; k < dims; k++ {
+		c.MissesPerDimLevel[k] = make([]uint64, levels)
+		c.RequestsPerDimLevel[k] = make([]uint64, levels)
+	}
+	return c
+}
+
+// Dims returns the number of tracked priority dimensions.
+func (c *Collector) Dims() int { return c.dims }
+
+// Levels returns the number of priority levels per dimension.
+func (c *Collector) Levels() int { return c.levels }
+
+// clampLevel folds out-of-range levels into the tracked range.
+func (c *Collector) clampLevel(l int) int {
+	if l < 0 {
+		return 0
+	}
+	if l >= c.levels {
+		return c.levels - 1
+	}
+	return l
+}
+
+// OnArrival records an arriving request.
+func (c *Collector) OnArrival(r *core.Request) {
+	c.Arrived++
+	for k := 0; k < c.dims && k < len(r.Priorities); k++ {
+		c.RequestsPerDimLevel[k][c.clampLevel(r.Priorities[k])]++
+	}
+}
+
+// OnDispatch records the dispatch of r while the requests visited by
+// pending are still queued; it accumulates the per-dimension priority
+// inversions caused by serving r ahead of them.
+func (c *Collector) OnDispatch(r *core.Request, pending func(func(*core.Request))) {
+	if c.dims == 0 {
+		return
+	}
+	pending(func(w *core.Request) {
+		for k := 0; k < c.dims && k < len(w.Priorities) && k < len(r.Priorities); k++ {
+			if w.Priorities[k] < r.Priorities[k] {
+				c.InversionsPerDim[k]++
+			}
+		}
+	})
+}
+
+// OnServed records a completed service.
+func (c *Collector) OnServed(r *core.Request, seek, service, start int64) {
+	c.Served++
+	c.SeekTime += seek
+	c.ServiceTime += service
+	c.WaitingTimes.Add(float64(start - r.Arrival))
+}
+
+// OnDropped records a request whose deadline expired before service.
+func (c *Collector) OnDropped(r *core.Request) {
+	c.Dropped++
+	c.recordMiss(r)
+}
+
+// OnLate records a request served past its deadline.
+func (c *Collector) OnLate(r *core.Request) {
+	c.Late++
+	c.recordMiss(r)
+}
+
+func (c *Collector) recordMiss(r *core.Request) {
+	for k := 0; k < c.dims && k < len(r.Priorities); k++ {
+		c.MissesPerDimLevel[k][c.clampLevel(r.Priorities[k])]++
+	}
+}
+
+// TotalInversions returns the inversion count summed over dimensions.
+func (c *Collector) TotalInversions() uint64 {
+	var t uint64
+	for _, v := range c.InversionsPerDim {
+		t += v
+	}
+	return t
+}
+
+// TotalMisses returns dropped plus late requests.
+func (c *Collector) TotalMisses() uint64 { return c.Dropped + c.Late }
+
+// MissRatio returns misses as a fraction of arrivals.
+func (c *Collector) MissRatio() float64 {
+	if c.Arrived == 0 {
+		return 0
+	}
+	return float64(c.TotalMisses()) / float64(c.Arrived)
+}
+
+// FairnessStdDev returns the standard deviation of the per-dimension
+// inversion counts — the paper's Fig. 7a fairness measure. Lower is fairer.
+func (c *Collector) FairnessStdDev() float64 {
+	vs := make([]float64, len(c.InversionsPerDim))
+	for i, v := range c.InversionsPerDim {
+		vs[i] = float64(v)
+	}
+	_, sd := stats.MeanStdDev(vs)
+	return sd
+}
+
+// FavoredDim returns the dimension with the fewest inversions and its
+// count — the paper's Fig. 7b "favored dimension".
+func (c *Collector) FavoredDim() (dim int, inversions uint64) {
+	if len(c.InversionsPerDim) == 0 {
+		return -1, 0
+	}
+	dim = 0
+	for k, v := range c.InversionsPerDim {
+		if v < c.InversionsPerDim[dim] {
+			dim = k
+		}
+	}
+	return dim, c.InversionsPerDim[dim]
+}
+
+// LinearWeights returns the §6 cost weights for the collector's levels:
+// decreasing linearly from ratio at level 0 (highest priority) to 1 at the
+// lowest level. The paper uses ratio 11.
+func LinearWeights(levels int, ratio float64) []float64 {
+	w := make([]float64, levels)
+	for i := range w {
+		if levels == 1 {
+			w[i] = ratio
+			continue
+		}
+		w[i] = 1 + (ratio-1)*float64(levels-1-i)/float64(levels-1)
+	}
+	return w
+}
+
+// WeightedLossCost returns the §6 cost function over dimension dim:
+// sum_i w_i * m_i / r_i, with empty levels contributing zero.
+func (c *Collector) WeightedLossCost(dim int, weights []float64) (float64, error) {
+	if dim < 0 || dim >= c.dims {
+		return 0, fmt.Errorf("metrics: dimension %d out of range [0,%d)", dim, c.dims)
+	}
+	if len(weights) != c.levels {
+		return 0, fmt.Errorf("metrics: %d weights for %d levels", len(weights), c.levels)
+	}
+	var cost float64
+	for l := 0; l < c.levels; l++ {
+		r := c.RequestsPerDimLevel[dim][l]
+		if r == 0 {
+			continue
+		}
+		cost += weights[l] * float64(c.MissesPerDimLevel[dim][l]) / float64(r)
+	}
+	return cost, nil
+}

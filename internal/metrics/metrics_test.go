@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"sfcsched/internal/core"
+)
+
+func TestInversionCounting(t *testing.T) {
+	c := NewCollector(2, 8)
+	served := &core.Request{Priorities: []int{4, 4}}
+	pending := []*core.Request{
+		{Priorities: []int{1, 7}}, // higher in dim 0 only
+		{Priorities: []int{7, 2}}, // higher in dim 1 only
+		{Priorities: []int{0, 0}}, // higher in both
+		{Priorities: []int{6, 6}}, // higher in neither
+	}
+	c.OnDispatch(served, func(visit func(*core.Request)) {
+		for _, r := range pending {
+			visit(r)
+		}
+	})
+	if c.InversionsPerDim[0] != 2 || c.InversionsPerDim[1] != 2 {
+		t.Errorf("per-dim inversions = %v, want [2 2]", c.InversionsPerDim)
+	}
+	if c.TotalInversions() != 4 {
+		t.Errorf("total = %d, want 4", c.TotalInversions())
+	}
+}
+
+func TestEqualLevelsAreNotInversions(t *testing.T) {
+	c := NewCollector(1, 8)
+	served := &core.Request{Priorities: []int{3}}
+	c.OnDispatch(served, func(visit func(*core.Request)) {
+		visit(&core.Request{Priorities: []int{3}})
+	})
+	if c.TotalInversions() != 0 {
+		t.Errorf("equal priority counted as inversion")
+	}
+}
+
+func TestMissAccounting(t *testing.T) {
+	c := NewCollector(1, 4)
+	for l := 0; l < 4; l++ {
+		r := &core.Request{Priorities: []int{l}}
+		c.OnArrival(r)
+		if l%2 == 0 {
+			c.OnDropped(r)
+		}
+	}
+	r := &core.Request{Priorities: []int{3}}
+	c.OnArrival(r)
+	c.OnLate(r)
+	if c.Dropped != 2 || c.Late != 1 || c.TotalMisses() != 3 {
+		t.Errorf("dropped=%d late=%d", c.Dropped, c.Late)
+	}
+	if c.MissesPerDimLevel[0][0] != 1 || c.MissesPerDimLevel[0][2] != 1 || c.MissesPerDimLevel[0][3] != 1 {
+		t.Errorf("per-level misses = %v", c.MissesPerDimLevel[0])
+	}
+	if got := c.MissRatio(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("miss ratio = %v, want 0.6", got)
+	}
+}
+
+func TestClampOutOfRangeLevels(t *testing.T) {
+	c := NewCollector(1, 4)
+	c.OnArrival(&core.Request{Priorities: []int{99}})
+	c.OnArrival(&core.Request{Priorities: []int{-1}})
+	if c.RequestsPerDimLevel[0][3] != 1 || c.RequestsPerDimLevel[0][0] != 1 {
+		t.Errorf("clamping failed: %v", c.RequestsPerDimLevel[0])
+	}
+}
+
+func TestFairnessStdDev(t *testing.T) {
+	c := NewCollector(2, 8)
+	c.InversionsPerDim[0] = 10
+	c.InversionsPerDim[1] = 10
+	if got := c.FairnessStdDev(); got != 0 {
+		t.Errorf("equal dims should give 0 stddev, got %v", got)
+	}
+	c.InversionsPerDim[1] = 30
+	if got := c.FairnessStdDev(); got != 10 {
+		t.Errorf("stddev = %v, want 10", got)
+	}
+}
+
+func TestFavoredDim(t *testing.T) {
+	c := NewCollector(3, 8)
+	c.InversionsPerDim[0] = 50
+	c.InversionsPerDim[1] = 5
+	c.InversionsPerDim[2] = 20
+	dim, inv := c.FavoredDim()
+	if dim != 1 || inv != 5 {
+		t.Errorf("favored = (%d,%d), want (1,5)", dim, inv)
+	}
+	empty := NewCollector(0, 1)
+	if dim, _ := empty.FavoredDim(); dim != -1 {
+		t.Errorf("no dims should report -1, got %d", dim)
+	}
+}
+
+func TestLinearWeights(t *testing.T) {
+	w := LinearWeights(8, 11)
+	if w[0] != 11 || w[7] != 1 {
+		t.Errorf("endpoints = %v, %v, want 11, 1", w[0], w[7])
+	}
+	for i := 1; i < 8; i++ {
+		if w[i] >= w[i-1] {
+			t.Errorf("weights not decreasing at %d: %v", i, w)
+		}
+	}
+	if one := LinearWeights(1, 11); one[0] != 11 {
+		t.Errorf("single level weight = %v", one[0])
+	}
+}
+
+func TestWeightedLossCost(t *testing.T) {
+	c := NewCollector(1, 2)
+	hi := &core.Request{Priorities: []int{0}}
+	lo := &core.Request{Priorities: []int{1}}
+	for i := 0; i < 10; i++ {
+		c.OnArrival(hi)
+		c.OnArrival(lo)
+	}
+	c.OnDropped(hi) // 1/10 high misses
+	c.OnDropped(lo)
+	c.OnDropped(lo) // 2/10 low misses
+	w := []float64{11, 1}
+	got, err := c.WeightedLossCost(0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 11*0.1 + 1*0.2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+	if _, err := c.WeightedLossCost(5, w); err == nil {
+		t.Error("expected error for bad dimension")
+	}
+	if _, err := c.WeightedLossCost(0, []float64{1}); err == nil {
+		t.Error("expected error for weight length mismatch")
+	}
+}
+
+func TestServedAccounting(t *testing.T) {
+	c := NewCollector(0, 1)
+	r := &core.Request{Arrival: 100}
+	c.OnServed(r, 500, 2000, 600)
+	if c.Served != 1 || c.SeekTime != 500 || c.ServiceTime != 2000 {
+		t.Errorf("served accounting wrong: %+v", c)
+	}
+	if c.WaitingTimes.Mean() != 500 {
+		t.Errorf("waiting time = %v, want 500", c.WaitingTimes.Mean())
+	}
+}
+
+func TestZeroDimCollectorSafe(t *testing.T) {
+	c := NewCollector(0, 0)
+	r := &core.Request{}
+	c.OnArrival(r)
+	c.OnDispatch(r, func(func(*core.Request)) {})
+	c.OnDropped(r)
+	if c.TotalInversions() != 0 || c.Arrived != 1 || c.Dropped != 1 {
+		t.Error("zero-dim collector misbehaved")
+	}
+}

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"testing"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/sfc"
+)
+
+func TestSFC1PriorityCollapses(t *testing.T) {
+	curve := sfc.MustNew("sweep", 2, 8)
+	pf, err := SFC1Priority(curve, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep is lexicographic with dimension 1 most significant.
+	hi := pf(&core.Request{Priorities: []int{7, 0}})
+	lo := pf(&core.Request{Priorities: []int{0, 7}})
+	if hi >= lo {
+		t.Errorf("collapse not lexicographic: %d >= %d", hi, lo)
+	}
+	for _, p := range [][]int{{0, 0}, {7, 7}, {3, 4}} {
+		if l := pf(&core.Request{Priorities: p}); l < 0 || l >= 8 {
+			t.Errorf("level %d out of range for %v", l, p)
+		}
+	}
+}
+
+func TestSFC1PriorityValidation(t *testing.T) {
+	if _, err := SFC1Priority(nil, 8, 8); err == nil {
+		t.Error("expected error for nil curve")
+	}
+	if _, err := SFC1Priority(sfc.MustNew("sweep", 2, 8), 0, 8); err == nil {
+		t.Error("expected error for zero levels")
+	}
+}
+
+func TestKamelMultiEvictsBySFC1Order(t *testing.T) {
+	curve := sfc.MustNew("sweep", 2, 8)
+	k, err := NewKamelMulti(testEstimator(), curve, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two requests whose single-dimension priorities tie but whose second
+	// (most significant for sweep) dimension differs: the collapse must
+	// pick the one with the worse second dimension as eviction victim.
+	// The tight request is feasible behind one queued request but not two,
+	// so exactly one eviction happens.
+	keep := &core.Request{ID: 1, Priorities: []int{3, 0}, Cylinder: 1000, Deadline: 5_000_000, Size: 64 << 10}
+	evict := &core.Request{ID: 2, Priorities: []int{3, 7}, Cylinder: 1500, Deadline: 5_000_000, Size: 64 << 10}
+	tight := &core.Request{ID: 3, Priorities: []int{0, 0}, Cylinder: 3000, Deadline: 30_000, Size: 4 << 10}
+	k.Add(keep, 0, 0)
+	k.Add(evict, 0, 0)
+	k.Add(tight, 0, 0) // forces the eviction
+	var order []uint64
+	head := 0
+	for r := k.Next(0, head); r != nil; r = k.Next(0, head) {
+		order = append(order, r.ID)
+		head = r.Cylinder
+	}
+	want := []uint64{1, 3, 2} // scan order, SFC1-lowest victim parked last
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMultiQueueMultiUsesAllDimensions(t *testing.T) {
+	curve := sfc.MustNew("sweep", 2, 4)
+	m, err := NewMultiQueueMulti(curve, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a native multi-queue on Priorities[0], these two requests tie.
+	// The SFC1 extension separates them by the second dimension.
+	a := &core.Request{ID: 1, Priorities: []int{2, 3}}
+	b := &core.Request{ID: 2, Priorities: []int{2, 0}}
+	m.Add(a, 0, 0)
+	m.Add(b, 0, 0)
+	if r := m.Next(0, 0); r.ID != 2 {
+		t.Errorf("want request 2 (better second dimension) first, got %d", r.ID)
+	}
+}
+
+func TestBUCKETSeekPartitionsByValue(t *testing.T) {
+	s, err := NewBUCKETSeek(10, 5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A far high-value request beats a near low-value one (different
+	// partitions), but within a value band the scan order rules.
+	s.Add(&core.Request{ID: 1, Value: 10, Cylinder: 900}, 0, 0)
+	s.Add(&core.Request{ID: 2, Value: 1, Cylinder: 10}, 0, 0)
+	s.Add(&core.Request{ID: 3, Value: 10, Cylinder: 500}, 0, 0)
+	want := []uint64{3, 1, 2} // band 10 in scan order (500 then 900), band 1 last
+	head := 0
+	for _, id := range want {
+		r := s.Next(0, head)
+		if r == nil || r.ID != id {
+			t.Fatalf("want %d, got %v", id, r)
+		}
+		head = r.Cylinder
+	}
+}
+
+func TestBUCKETSeekScanWithinBand(t *testing.T) {
+	s, err := NewBUCKETSeek(4, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R = 1: one partition, pure cyclic scan regardless of value.
+	s.Add(&core.Request{ID: 1, Value: 4, Cylinder: 800}, 0, 100)
+	s.Add(&core.Request{ID: 2, Value: 1, Cylinder: 50}, 0, 100)
+	s.Add(&core.Request{ID: 3, Value: 2, Cylinder: 400}, 0, 100)
+	want := []uint64{3, 1, 2} // ahead of head 100: 400, 800, wrap to 50
+	head := 100
+	for _, id := range want {
+		r := s.Next(0, head)
+		if r.ID != id {
+			t.Fatalf("want %d, got %d", id, r.ID)
+		}
+		head = r.Cylinder
+	}
+}
+
+func TestBUCKETSeekContract(t *testing.T) {
+	s, err := NewBUCKETSeek(8, 3, 3832)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "bucket-seek" {
+		t.Errorf("name = %q", s.Name())
+	}
+	if s.Next(0, 0) != nil {
+		t.Error("empty queue should return nil")
+	}
+	s.Add(&core.Request{ID: 1, Value: 99, Cylinder: -5}, 0, 0) // clamped
+	s.Add(&core.Request{ID: 2, Value: 0, Cylinder: 9999}, 0, 0)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	seen := 0
+	s.Each(func(*core.Request) { seen++ })
+	if seen != 2 {
+		t.Errorf("Each visited %d", seen)
+	}
+	if s.Next(0, 0) == nil || s.Next(0, 0) == nil {
+		t.Error("both requests should dispatch")
+	}
+}
+
+func TestBUCKETSeekValidation(t *testing.T) {
+	for _, c := range [][3]int{{0, 1, 10}, {5, 0, 10}, {5, 1, 0}} {
+		if _, err := NewBUCKETSeek(c[0], c[1], c[2]); err == nil {
+			t.Errorf("expected error for %v", c)
+		}
+	}
+}

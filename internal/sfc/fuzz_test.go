@@ -1,0 +1,93 @@
+package sfc
+
+import "testing"
+
+// Fuzz targets double as regression tests on their seed corpus and can be
+// driven with `go test -fuzz` for deeper exploration.
+
+func FuzzHilbertRoundTrip(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint16(0))
+	f.Add(uint16(31), uint16(17), uint16(5))
+	f.Add(uint16(65535), uint16(1), uint16(32768))
+	c, err := NewHilbert(3, 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, a, b, d uint16) {
+		p := Point{uint32(a), uint32(b), uint32(d)}
+		got := c.Point(c.Index(p), nil)
+		for i := range p {
+			if got[i] != p[i] {
+				t.Fatalf("round trip %v -> %v", p, got)
+			}
+		}
+	})
+}
+
+func FuzzPeanoRoundTrip(f *testing.F) {
+	f.Add(uint16(0), uint16(0))
+	f.Add(uint16(242), uint16(170))
+	c, err := NewPeano(2, 5) // side 243
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, a, b uint16) {
+		p := Point{uint32(a) % c.Side(), uint32(b) % c.Side()}
+		got := c.Point(c.Index(p), nil)
+		if got[0] != p[0] || got[1] != p[1] {
+			t.Fatalf("round trip %v -> %v", p, got)
+		}
+	})
+}
+
+func FuzzMooreRoundTripAndAdjacency(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(1000))
+	c, err := NewMoore(6) // side 64
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, idx uint32) {
+		i := uint64(idx) % c.MaxIndex()
+		p := c.Point(i, nil)
+		if got := c.Index(p); got != i {
+			t.Fatalf("round trip %d -> %v -> %d", i, p, got)
+		}
+		next := c.Point((i+1)%c.MaxIndex(), nil)
+		if manhattan(p, next) != 1 {
+			t.Fatalf("cells %d and %d not adjacent (closed loop)", i, i+1)
+		}
+	})
+}
+
+func FuzzSpiralRoundTrip(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(120))
+	c, err := NewSpiral(2, 101)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, idx uint32) {
+		i := uint64(idx) % c.MaxIndex()
+		p := c.Point(i, nil)
+		if got := c.Index(p); got != i {
+			t.Fatalf("round trip %d -> %v -> %d", i, p, got)
+		}
+	})
+}
+
+func FuzzDiagonalRoundTrip(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(77))
+	c, err := NewDiagonal(2, 100)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, idx uint32) {
+		i := uint64(idx) % c.MaxIndex()
+		p := c.Point(i, nil)
+		if got := c.Index(p); got != i {
+			t.Fatalf("round trip %d -> %v -> %d", i, p, got)
+		}
+	})
+}

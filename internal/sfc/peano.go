@@ -1,0 +1,122 @@
+package sfc
+
+import "fmt"
+
+// Peano is the d-dimensional Peano curve over a (3^order)^dims grid,
+// built from Peano's original base-3 digit construction: the index digits
+// are the coordinate digits taken level by level (dimension Dims()-1 first
+// within each level), with a digit complemented (t -> 2-t) whenever the sum
+// of the index digits already emitted for the *other* dimensions is odd.
+// The resulting curve is continuous: consecutive cells are grid neighbors,
+// which the adjacency property tests verify.
+type Peano struct {
+	dims  int
+	order int // digits per dimension
+	side  uint32
+	max   uint64
+}
+
+// NewPeano returns a Peano curve over a (3^order)^dims grid. The total cell
+// count 3^(order*dims) must fit in uint64.
+func NewPeano(dims, order int) (*Peano, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("sfc: dims must be >= 1, got %d", dims)
+	}
+	if order < 1 {
+		return nil, fmt.Errorf("sfc: order must be >= 1, got %d", order)
+	}
+	side, ok := pow(3, order)
+	if !ok || side > 1<<32-1 {
+		return nil, fmt.Errorf("sfc: side 3^%d too large", order)
+	}
+	max, ok := pow(3, order*dims)
+	if !ok {
+		return nil, fmt.Errorf("sfc: grid 3^(%d*%d) overflows uint64", order, dims)
+	}
+	return &Peano{dims: dims, order: order, side: uint32(side), max: max}, nil
+}
+
+// Name implements Curve.
+func (c *Peano) Name() string { return "peano" }
+
+// Dims implements Curve.
+func (c *Peano) Dims() int { return c.dims }
+
+// Side implements Curve.
+func (c *Peano) Side() uint32 { return c.side }
+
+// MaxIndex implements Curve.
+func (c *Peano) MaxIndex() uint64 { return c.max }
+
+// Bijective implements Curve.
+func (c *Peano) Bijective() bool { return true }
+
+// Index implements Curve.
+func (c *Peano) Index(p Point) uint64 {
+	checkPoint(p, c.dims, c.side)
+	// Coordinate digits base 3, most significant first.
+	digits := make([][]uint8, c.dims)
+	buf := make([]uint8, c.dims*c.order)
+	for i := 0; i < c.dims; i++ {
+		digits[i] = buf[i*c.order : (i+1)*c.order]
+		v := p[i]
+		for j := c.order - 1; j >= 0; j-- {
+			digits[i][j] = uint8(v % 3)
+			v /= 3
+		}
+	}
+	// Emit index digits level-major, dimension Dims()-1 most significant
+	// within each level; flips[i] counts index digits of other dimensions.
+	flips := make([]uint8, c.dims)
+	var idx uint64
+	for j := 0; j < c.order; j++ {
+		for i := c.dims - 1; i >= 0; i-- {
+			t := digits[i][j]
+			if flips[i]&1 == 1 {
+				t = 2 - t
+			}
+			idx = idx*3 + uint64(t)
+			for k := 0; k < c.dims; k++ {
+				if k != i {
+					flips[k] += t
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Point implements Inverter.
+func (c *Peano) Point(idx uint64, dst Point) Point {
+	checkIndex(idx, c.max)
+	dst = ensure(dst, c.dims)
+	// Index digits base 3, most significant first.
+	n := c.dims * c.order
+	ts := make([]uint8, n)
+	for k := n - 1; k >= 0; k-- {
+		ts[k] = uint8(idx % 3)
+		idx /= 3
+	}
+	flips := make([]uint8, c.dims)
+	for i := range dst {
+		dst[i] = 0
+	}
+	k := 0
+	for j := 0; j < c.order; j++ {
+		for i := c.dims - 1; i >= 0; i-- {
+			t := ts[k]
+			k++
+			d := t
+			if flips[i]&1 == 1 {
+				d = 2 - t
+			}
+			dst[i] = dst[i]*3 + uint32(d)
+			for m := 0; m < c.dims; m++ {
+				if m != i {
+					flips[m] += t
+				}
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,73 @@
+package sfc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Names returns the registry names of all supported curves, sorted.
+func Names() []string {
+	names := []string{"sweep", "scan", "cscan", "peano", "gray", "hilbert", "moore", "spiral", "diagonal", "zorder"}
+	sort.Strings(names)
+	return names
+}
+
+// PaperNames returns the seven curves of the paper's Figure 1, in the
+// paper's presentation order.
+func PaperNames() []string {
+	return []string{"sweep", "cscan", "scan", "gray", "hilbert", "spiral", "peano"}
+}
+
+// New constructs the named curve over dims dimensions with at least minSide
+// cells per dimension. Curves with granularity constraints (binary curves
+// need a power-of-two side, Peano a power of three, the 2-D spiral an odd
+// side) round the side up to their natural grid; callers must consult
+// Side() on the result rather than assume minSide.
+func New(name string, dims int, minSide uint32) (Curve, error) {
+	if minSide < 1 {
+		return nil, fmt.Errorf("sfc: minSide must be >= 1, got %d", minSide)
+	}
+	switch name {
+	case "sweep":
+		return NewSweep(dims, minSide)
+	case "scan":
+		return NewScan(dims, minSide)
+	case "cscan":
+		return NewCScan(dims, minSide)
+	case "peano":
+		return NewPeano(dims, pow3Ceil(minSide))
+	case "gray":
+		return NewGray(dims, maxInt(1, log2Ceil(minSide)))
+	case "hilbert":
+		return NewHilbert(dims, maxInt(1, log2Ceil(minSide)))
+	case "moore":
+		if dims != 2 {
+			return nil, fmt.Errorf("sfc: moore curve is 2-dimensional, got %d dims", dims)
+		}
+		return NewMoore(maxInt(1, log2Ceil(minSide)))
+	case "zorder":
+		return NewZOrder(dims, maxInt(1, log2Ceil(minSide)))
+	case "spiral":
+		return NewSpiral(dims, minSide)
+	case "diagonal":
+		return NewDiagonal(dims, minSide)
+	default:
+		return nil, fmt.Errorf("sfc: unknown curve %q", name)
+	}
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(name string, dims int, minSide uint32) Curve {
+	c, err := New(name, dims, minSide)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

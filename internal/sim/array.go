@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/disk"
+	"sfcsched/internal/metrics"
+	"sfcsched/internal/sched"
+	"sfcsched/internal/stats"
+)
+
+// ArrayConfig configures a RAID-5 array simulation: logical block requests
+// are mapped to physical per-disk operations (reads hit one disk; writes
+// perform read-modify-write on the data and parity disks), each disk runs
+// its own scheduler instance, and the disks proceed in parallel on a
+// shared event timeline.
+type ArrayConfig struct {
+	// Array maps logical blocks to physical operations. Required.
+	Array *disk.RAID5
+	// NewScheduler builds the per-disk queue discipline. Required.
+	NewScheduler func(diskID int) (sched.Scheduler, error)
+	// Seed drives rotational-latency sampling when SampleRotation is set.
+	Seed uint64
+	// DropLate drops physical operations whose logical deadline passed
+	// before service; the logical request counts as missed.
+	DropLate bool
+	// Dims and Levels size the logical metrics collector.
+	Dims   int
+	Levels int
+	// SampleRotation draws rotational latencies instead of averaging.
+	SampleRotation bool
+}
+
+// ArrayResult reports a RAID array run.
+type ArrayResult struct {
+	// Logical accounts whole block requests: a logical request is served
+	// when every physical operation completed on time, missed when any
+	// operation was dropped or started late.
+	Logical *metrics.Collector
+	// SeekTime and BusyTime aggregate over all disks, µs.
+	SeekTime int64
+	BusyTime int64
+	// PerDiskOps counts physical operations dispatched to each disk.
+	PerDiskOps []uint64
+	// Makespan is the completion time of the run, µs.
+	Makespan int64
+}
+
+// logicalState tracks one in-flight logical request.
+type logicalState struct {
+	req     *core.Request
+	pending int  // physical ops still outstanding
+	missed  bool // any op dropped or started late
+	// writeOps holds the deferred write phase of a read-modify-write;
+	// enqueued when the read phase drains.
+	writeOps  []disk.PhysOp
+	readsLeft int
+}
+
+// physReq is a physical operation queued on one disk.
+type physReq struct {
+	req    *core.Request // what the disk scheduler sees
+	parent *logicalState
+}
+
+// arrayState is the per-disk runtime state.
+type arrayState struct {
+	sched  sched.Scheduler
+	head   int
+	freeAt int64
+	inSvc  *physReq
+}
+
+// RunArray simulates the logical trace (sorted by arrival) on the array.
+func RunArray(cfg ArrayConfig, logical []*core.Request) (*ArrayResult, error) {
+	if cfg.Array == nil || cfg.NewScheduler == nil {
+		return nil, fmt.Errorf("sim: ArrayConfig needs Array and NewScheduler")
+	}
+	model := cfg.Array.Model
+	disks := make([]*arrayState, cfg.Array.Disks)
+	for d := range disks {
+		s, err := cfg.NewScheduler(d)
+		if err != nil {
+			return nil, fmt.Errorf("sim: disk %d scheduler: %w", d, err)
+		}
+		disks[d] = &arrayState{sched: s}
+	}
+	res := &ArrayResult{
+		Logical:    metrics.NewCollector(cfg.Dims, cfg.Levels),
+		PerDiskOps: make([]uint64, cfg.Array.Disks),
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	byPhys := make(map[*core.Request]*physReq)
+	var nextPhysID uint64
+
+	enqueue := func(st *logicalState, ops []disk.PhysOp, now int64) {
+		for _, op := range ops {
+			nextPhysID++
+			pr := &physReq{
+				req: &core.Request{
+					ID:         nextPhysID,
+					Priorities: st.req.Priorities,
+					Deadline:   st.req.Deadline,
+					Cylinder:   op.Cylinder,
+					Size:       op.Size,
+					Arrival:    now,
+					Write:      op.Write,
+					Value:      st.req.Value,
+				},
+				parent: st,
+			}
+			byPhys[pr.req] = pr
+			ds := disks[op.Disk]
+			ds.sched.Add(pr.req, now, ds.head)
+			res.PerDiskOps[op.Disk]++
+		}
+	}
+
+	finish := func(st *logicalState, now int64) {
+		if st.missed {
+			res.Logical.OnDropped(st.req)
+		} else {
+			res.Logical.OnServed(st.req, 0, 0, now)
+		}
+	}
+
+	// opDone accounts one completed or dropped physical op and fires the
+	// deferred write phase or the logical completion when due.
+	var opDone func(st *logicalState, now int64, wasRead bool)
+	opDone = func(st *logicalState, now int64, wasRead bool) {
+		st.pending--
+		if wasRead && len(st.writeOps) > 0 {
+			st.readsLeft--
+			if st.readsLeft == 0 {
+				if st.missed {
+					// The read phase failed; the write phase is abandoned.
+					st.pending -= len(st.writeOps)
+					st.writeOps = nil
+				} else {
+					ops := st.writeOps
+					st.writeOps = nil
+					enqueue(st, ops, now) // pending already counts them
+				}
+			}
+		}
+		if st.pending == 0 {
+			finish(st, now)
+		}
+	}
+
+	// dispatch starts service on every idle disk with pending work.
+	dispatch := func(now int64) {
+		for _, ds := range disks {
+			for ds.inSvc == nil && ds.sched.Len() > 0 {
+				r := ds.sched.Next(now, ds.head)
+				if r == nil {
+					break
+				}
+				pr := byPhys[r]
+				delete(byPhys, r)
+				if cfg.DropLate && r.Deadline > 0 && now > r.Deadline {
+					pr.parent.missed = true
+					opDone(pr.parent, now, !r.Write)
+					continue
+				}
+				seek := model.SeekTime(ds.head, r.Cylinder)
+				rot := model.AvgRotationalLatency()
+				if cfg.SampleRotation {
+					rot = model.RotationalLatency(rng)
+				}
+				svc := seek + rot + model.TransferTime(r.Cylinder, r.Size)
+				if r.Deadline > 0 && now > r.Deadline {
+					pr.parent.missed = true
+				}
+				res.SeekTime += seek
+				res.BusyTime += svc
+				ds.inSvc = pr
+				ds.freeAt = now + svc
+			}
+		}
+	}
+
+	i := 0 // next logical arrival
+	now := int64(0)
+	for {
+		// Earliest pending event: a logical arrival or a disk completion.
+		next := int64(-1)
+		if i < len(logical) {
+			next = logical[i].Arrival
+		}
+		for _, ds := range disks {
+			if ds.inSvc != nil && (next < 0 || ds.freeAt < next) {
+				next = ds.freeAt
+			}
+		}
+		if next < 0 {
+			break // no arrivals left, no disk busy: queues are drained
+		}
+		now = next
+		// Completions first so freed disks can take the new arrivals.
+		for _, ds := range disks {
+			if ds.inSvc != nil && ds.freeAt <= now {
+				pr := ds.inSvc
+				ds.inSvc = nil
+				ds.head = pr.req.Cylinder
+				opDone(pr.parent, now, !pr.req.Write)
+			}
+		}
+		for i < len(logical) && logical[i].Arrival <= now {
+			lr := logical[i]
+			i++
+			res.Logical.OnArrival(lr)
+			st := &logicalState{req: lr}
+			var phase1 []disk.PhysOp
+			if lr.Write {
+				ops := cfg.Array.Write(blockOf(lr))
+				for _, op := range ops {
+					if op.Write {
+						st.writeOps = append(st.writeOps, op)
+					} else {
+						phase1 = append(phase1, op)
+					}
+				}
+				st.readsLeft = len(phase1)
+			} else {
+				phase1 = cfg.Array.Read(blockOf(lr))
+			}
+			st.pending = len(phase1) + len(st.writeOps)
+			enqueue(st, phase1, now)
+		}
+		dispatch(now)
+	}
+	res.Makespan = now
+	return res, nil
+}
+
+// blockOf returns the logical block number of a request; array workloads
+// carry it in the Cylinder field (the array, not the request, decides the
+// physical cylinder).
+func blockOf(r *core.Request) int64 {
+	if r.Cylinder < 0 {
+		return 0
+	}
+	return int64(r.Cylinder)
+}
+
+// SortByArrival orders a trace in place by arrival time (stable), the
+// precondition of Run and RunArray.
+func SortByArrival(trace []*core.Request) {
+	sort.SliceStable(trace, func(i, j int) bool {
+		return trace[i].Arrival < trace[j].Arrival
+	})
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/sched"
+	"sfcsched/internal/sfc"
+	"sfcsched/internal/workload"
+)
+
+// invariantSchedulers builds the policies exercised by the cross-cutting
+// invariant tests.
+func invariantSchedulers() map[string]func() sched.Scheduler {
+	est := xp().ServiceTime
+	return map[string]func() sched.Scheduler{
+		"fcfs":     func() sched.Scheduler { return sched.NewFCFS() },
+		"sstf":     func() sched.Scheduler { return sched.NewSSTF() },
+		"scan":     func() sched.Scheduler { return sched.NewSCAN() },
+		"cscan":    func() sched.Scheduler { return sched.NewCSCAN() },
+		"edf":      func() sched.Scheduler { return sched.NewEDF() },
+		"scan-edf": func() sched.Scheduler { return sched.NewSCANEDF(50_000) },
+		"fd-scan":  func() sched.Scheduler { return sched.NewFDSCAN(est) },
+		"scan-rt":  func() sched.Scheduler { return sched.NewSCANRT(est) },
+		"kamel":    func() sched.Scheduler { return sched.NewKamel(est) },
+		"cascaded": func() sched.Scheduler {
+			return core.MustScheduler("cascaded", core.EncapsulatorConfig{
+				Curve1: sfc.MustNew("peano", 2, 9), Levels: 8,
+				UseDeadline: true, F: 1, DeadlineHorizon: 700_000,
+				DeadlineSpan: 700_000, DeadlineSlack: true,
+				UseCylinder: true, R: 3, Cylinders: 3832,
+			}, core.DispatcherConfig{Mode: core.ConditionallyPreemptive, SP: true}, 0.02)
+		},
+	}
+}
+
+// TestRunInvariants checks, for every scheduler under both drop modes:
+// request conservation, non-negative times, busy time within makespan,
+// and seek accounted within service.
+func TestRunInvariants(t *testing.T) {
+	trace := workload.Open{
+		Seed: 3, Count: 1500, MeanInterarrival: 12_000,
+		Dims: 2, Levels: 8, DeadlineMin: 200_000, DeadlineMax: 700_000,
+		Cylinders: 3832, SizeMin: 4 << 10, SizeMax: 64 << 10,
+	}.MustGenerate()
+	for name, mk := range invariantSchedulers() {
+		for _, drop := range []bool{false, true} {
+			res := MustRun(Config{
+				Disk: xp(), Scheduler: mk(), DropLate: drop,
+				Dims: 2, Levels: 8, Seed: 3,
+			}, trace)
+			if res.Arrived != uint64(len(trace)) {
+				t.Errorf("%s drop=%v: arrived %d != %d", name, drop, res.Arrived, len(trace))
+			}
+			if res.Served+res.Dropped != res.Arrived {
+				t.Errorf("%s drop=%v: served %d + dropped %d != arrived %d",
+					name, drop, res.Served, res.Dropped, res.Arrived)
+			}
+			if !drop && res.Dropped != 0 {
+				t.Errorf("%s: dropped %d without DropLate", name, res.Dropped)
+			}
+			if res.ServiceTime > res.Makespan {
+				t.Errorf("%s drop=%v: busy %d exceeds makespan %d", name, drop, res.ServiceTime, res.Makespan)
+			}
+			if res.SeekTime > res.ServiceTime {
+				t.Errorf("%s drop=%v: seek %d exceeds service %d", name, drop, res.SeekTime, res.ServiceTime)
+			}
+			if res.WaitingTimes.Min() < 0 {
+				t.Errorf("%s drop=%v: negative waiting time", name, drop)
+			}
+		}
+	}
+}
+
+// TestWorkConservation: the disk never idles while requests are pending —
+// so total idle time must not exceed the idle implied by arrival gaps.
+// A simple sufficient check: with a saturating workload (arrivals faster
+// than service), makespan ~= first arrival + total service time.
+func TestWorkConservation(t *testing.T) {
+	trace := workload.Open{
+		Seed: 4, Count: 800, MeanInterarrival: 1_000,
+		Dims: 1, Levels: 8, Cylinders: 3832, Size: 64 << 10,
+	}.MustGenerate()
+	res := MustRun(Config{Disk: xp(), Scheduler: sched.NewSSTF(), Seed: 4}, trace)
+	idle := res.Makespan - res.ServiceTime
+	if idle > trace[0].Arrival+1000 {
+		t.Errorf("disk idled %d us with a saturating queue", idle)
+	}
+}
+
+// TestPerfectPriorityOrderHasZeroInversions: a single-dimension cascade
+// with a huge service gap between arrivals dispatches strictly by level,
+// so dispatch-time inversions must be zero when all requests are present
+// before the first dispatch.
+func TestPerfectPriorityOrderHasZeroInversions(t *testing.T) {
+	var trace []*core.Request
+	for i := 0; i < 64; i++ {
+		trace = append(trace, &core.Request{
+			ID: uint64(i + 1), Arrival: 0, Priorities: []int{i % 8},
+		})
+	}
+	s := core.MustScheduler("strict", core.EncapsulatorConfig{Levels: 8},
+		core.DispatcherConfig{Mode: core.FullyPreemptive}, 0)
+	res := MustRun(Config{Scheduler: s, FixedService: 100, Dims: 1, Levels: 8}, trace)
+	if res.TotalInversions() != 0 {
+		t.Errorf("strict priority order produced %d inversions", res.TotalInversions())
+	}
+}
+
+// TestFIFOMatchesArrivalOrderWaits: under FCFS with fixed service, waiting
+// times are non-decreasing in arrival order within a busy period.
+func TestFIFOMatchesArrivalOrderWaits(t *testing.T) {
+	trace := []*core.Request{
+		{ID: 1, Arrival: 0},
+		{ID: 2, Arrival: 10},
+		{ID: 3, Arrival: 20},
+	}
+	res := MustRun(Config{Scheduler: sched.NewFCFS(), FixedService: 1000}, trace)
+	// Waits: 0, 990, 1980.
+	if res.WaitingTimes.Min() != 0 || res.WaitingTimes.Max() != 1980 {
+		t.Errorf("waits = [%v, %v], want [0, 1980]", res.WaitingTimes.Min(), res.WaitingTimes.Max())
+	}
+}
+
+// TestCascadedFullStackAgainstBaselines: integration — the full cascade
+// must land between the specialists on their own turf: no more misses
+// than FCFS, no more seek than EDF, under the mixed workload.
+func TestCascadedFullStackAgainstBaselines(t *testing.T) {
+	trace := workload.Open{
+		Seed: 5, Count: 3000, MeanInterarrival: 13_000,
+		Dims: 3, Levels: 8, DeadlineMin: 500_000, DeadlineMax: 700_000,
+		Cylinders: 3832, SizeMin: 4 << 10, SizeMax: 256 << 10,
+	}.MustGenerate()
+	run := func(s sched.Scheduler) *Result {
+		return MustRun(Config{Disk: xp(), Scheduler: s, DropLate: true, Dims: 3, Levels: 8, Seed: 5}, trace)
+	}
+	cascaded := run(invariantSchedulers()["cascaded"]())
+	fcfs := run(sched.NewFCFS())
+	edf := run(sched.NewEDF())
+	if cascaded.TotalMisses() >= fcfs.TotalMisses() {
+		t.Errorf("cascaded misses %d >= FCFS %d", cascaded.TotalMisses(), fcfs.TotalMisses())
+	}
+	if cascaded.SeekTime >= edf.SeekTime {
+		t.Errorf("cascaded seek %d >= EDF %d", cascaded.SeekTime, edf.SeekTime)
+	}
+	if cascaded.TotalInversions() >= fcfs.TotalInversions() {
+		t.Errorf("cascaded inversions %d >= FCFS %d", cascaded.TotalInversions(), fcfs.TotalInversions())
+	}
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"sfcsched/internal/core"
+)
+
+// WriteCSV serializes a trace with dims priority columns. The format is
+// the exchange format of cmd/tracegen:
+//
+//	id,arrival_us,deadline_us,cylinder,size,write,value,priority_0,...
+func WriteCSV(w io.Writer, trace []*core.Request, dims int) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id", "arrival_us", "deadline_us", "cylinder", "size", "write", "value"}
+	for d := 0; d < dims; d++ {
+		header = append(header, fmt.Sprintf("priority_%d", d))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range trace {
+		row := []string{
+			strconv.FormatUint(r.ID, 10),
+			strconv.FormatInt(r.Arrival, 10),
+			strconv.FormatInt(r.Deadline, 10),
+			strconv.Itoa(r.Cylinder),
+			strconv.FormatInt(r.Size, 10),
+			strconv.FormatBool(r.Write),
+			strconv.Itoa(r.Value),
+		}
+		for d := 0; d < dims; d++ {
+			p := 0
+			if d < len(r.Priorities) {
+				p = r.Priorities[d]
+			}
+			row = append(row, strconv.Itoa(p))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. Priority dimensionality is
+// inferred from the header.
+func ReadCSV(r io.Reader) ([]*core.Request, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading CSV header: %w", err)
+	}
+	const fixed = 7
+	if len(header) < fixed || header[0] != "id" || header[1] != "arrival_us" {
+		return nil, fmt.Errorf("workload: unrecognized trace header %v", header)
+	}
+	dims := len(header) - fixed
+	var trace []*core.Request
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		if len(row) != fixed+dims {
+			return nil, fmt.Errorf("workload: line %d: %d fields, want %d", line, len(row), fixed+dims)
+		}
+		req := &core.Request{}
+		if req.ID, err = strconv.ParseUint(row[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("workload: line %d id: %w", line, err)
+		}
+		if req.Arrival, err = strconv.ParseInt(row[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("workload: line %d arrival: %w", line, err)
+		}
+		if req.Deadline, err = strconv.ParseInt(row[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("workload: line %d deadline: %w", line, err)
+		}
+		if req.Cylinder, err = strconv.Atoi(row[3]); err != nil {
+			return nil, fmt.Errorf("workload: line %d cylinder: %w", line, err)
+		}
+		if req.Size, err = strconv.ParseInt(row[4], 10, 64); err != nil {
+			return nil, fmt.Errorf("workload: line %d size: %w", line, err)
+		}
+		if req.Write, err = strconv.ParseBool(row[5]); err != nil {
+			return nil, fmt.Errorf("workload: line %d write: %w", line, err)
+		}
+		if req.Value, err = strconv.Atoi(row[6]); err != nil {
+			return nil, fmt.Errorf("workload: line %d value: %w", line, err)
+		}
+		if dims > 0 {
+			req.Priorities = make([]int, dims)
+			for d := 0; d < dims; d++ {
+				if req.Priorities[d], err = strconv.Atoi(row[fixed+d]); err != nil {
+					return nil, fmt.Errorf("workload: line %d priority %d: %w", line, d, err)
+				}
+			}
+		}
+		trace = append(trace, req)
+	}
+	return trace, nil
+}

@@ -1,0 +1,249 @@
+// Package workload generates the deterministic request traces driving the
+// paper's experiments: open Poisson arrivals with multi-dimensional
+// priorities (§5) and the NewsByte5 non-linear-editing stream mix (§6).
+//
+// A trace is a slice of requests sorted by arrival time; every scheduler
+// in a comparison is fed the identical trace, so differences in outcomes
+// are attributable to scheduling alone.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/stats"
+)
+
+// PriorityDist selects how priority levels are drawn.
+type PriorityDist int
+
+const (
+	// Uniform draws each level with equal probability.
+	Uniform PriorityDist = iota
+	// Normal draws from a clamped discretized normal centered mid-range
+	// (the §6 "normal distribution of requests across the levels").
+	Normal
+	// Zipf draws level k with probability proportional to 1/(k+1).
+	Zipf
+)
+
+// Open describes an open-arrival Poisson workload (§5 experiments).
+type Open struct {
+	Seed uint64
+	// Count is the number of requests to generate.
+	Count int
+	// MeanInterarrival is the exponential inter-arrival mean, µs.
+	// The paper's §5 experiments use 25 ms.
+	MeanInterarrival int64
+	// Dims and Levels shape the priority vector of each request.
+	Dims   int
+	Levels int
+	// Dist selects the priority level distribution.
+	Dist PriorityDist
+	// DeadlineMin/Max bound the uniformly drawn relative deadline, µs.
+	// Zero disables deadlines ("relaxed deadlines").
+	DeadlineMin int64
+	DeadlineMax int64
+	// Cylinders spreads requests uniformly over [0, Cylinders).
+	Cylinders int
+	// Size is the transfer size per request, bytes.
+	Size int64
+	// SizeMin/SizeMax, when both positive, override Size with a transfer
+	// size that grows linearly with the request's mean priority level
+	// across dimensions: the paper's §5.2 assumption that high-priority
+	// requests (audio/video chunks) are smaller than low-priority ones
+	// (ftp transfers).
+	SizeMin int64
+	SizeMax int64
+	// WriteFrac is the fraction of write requests.
+	WriteFrac float64
+	// ValueLevels, when positive, assigns a uniform application value in
+	// [1, ValueLevels] (for value-based baselines).
+	ValueLevels int
+}
+
+// Generate builds the trace. It is deterministic in the configuration.
+func (w Open) Generate() ([]*core.Request, error) {
+	if w.Count <= 0 {
+		return nil, fmt.Errorf("workload: Count must be positive, got %d", w.Count)
+	}
+	if w.MeanInterarrival <= 0 {
+		return nil, fmt.Errorf("workload: MeanInterarrival must be positive")
+	}
+	if w.Dims < 0 || w.Levels < 1 {
+		return nil, fmt.Errorf("workload: invalid priority shape dims=%d levels=%d", w.Dims, w.Levels)
+	}
+	if w.DeadlineMax < w.DeadlineMin {
+		return nil, fmt.Errorf("workload: DeadlineMax < DeadlineMin")
+	}
+	rng := stats.NewRNG(w.Seed)
+	var zipf *stats.Zipf
+	if w.Dist == Zipf {
+		zipf = stats.NewZipf(rng.Split(), w.Levels, 1.0)
+	}
+	reqs := make([]*core.Request, 0, w.Count)
+	now := int64(0)
+	for i := 0; i < w.Count; i++ {
+		now += int64(rng.Exponential(float64(w.MeanInterarrival)))
+		r := &core.Request{
+			ID:      uint64(i + 1),
+			Arrival: now,
+			Size:    w.Size,
+		}
+		if w.Dims > 0 {
+			r.Priorities = make([]int, w.Dims)
+			for k := range r.Priorities {
+				r.Priorities[k] = w.drawLevel(rng, zipf)
+			}
+		}
+		if w.DeadlineMax > 0 {
+			r.Deadline = now + w.DeadlineMin
+			if span := w.DeadlineMax - w.DeadlineMin; span > 0 {
+				r.Deadline += int64(rng.Uint64n(uint64(span) + 1))
+			}
+		}
+		if w.SizeMin > 0 && w.SizeMax >= w.SizeMin && w.Dims > 0 && w.Levels > 1 {
+			var sum int64
+			for _, l := range r.Priorities {
+				sum += int64(l)
+			}
+			r.Size = w.SizeMin + (w.SizeMax-w.SizeMin)*sum/int64(w.Dims*(w.Levels-1))
+		}
+		if w.Cylinders > 0 {
+			r.Cylinder = rng.Intn(w.Cylinders)
+		}
+		if w.WriteFrac > 0 && rng.Float64() < w.WriteFrac {
+			r.Write = true
+		}
+		if w.ValueLevels > 0 {
+			r.Value = 1 + rng.Intn(w.ValueLevels)
+		}
+		reqs = append(reqs, r)
+	}
+	return reqs, nil
+}
+
+// MustGenerate is Generate for static configurations.
+func (w Open) MustGenerate() []*core.Request {
+	reqs, err := w.Generate()
+	if err != nil {
+		panic(err)
+	}
+	return reqs
+}
+
+func (w Open) drawLevel(rng *stats.RNG, zipf *stats.Zipf) int {
+	switch w.Dist {
+	case Normal:
+		return rng.NormalLevel(w.Levels, 0.25)
+	case Zipf:
+		return zipf.Draw()
+	default:
+		return rng.Intn(w.Levels)
+	}
+}
+
+// Streams describes the §6 NewsByte5 workload: Users concurrent MPEG-1
+// editing streams issuing periodic bursty block requests against one disk.
+type Streams struct {
+	Seed uint64
+	// Users is the number of concurrent streams (the paper sweeps 68-91).
+	Users int
+	// Duration is the simulated wall time, µs.
+	Duration int64
+	// BitRate is the per-stream media rate, bits/s (paper: 1.5 Mbps).
+	BitRate float64
+	// BlockSize is the file block size, bytes (Table 1: 64 KB).
+	BlockSize int64
+	// Levels is the number of user priority levels (paper: 8), drawn from
+	// a clamped normal per user.
+	Levels int
+	// DeadlineMin/Max bound the uniformly drawn relative deadline, µs
+	// (paper: 750-1500 ms).
+	DeadlineMin int64
+	DeadlineMax int64
+	// Cylinders is the disk size in cylinders; each stream walks its file
+	// sequentially from a random start with occasional edit jumps.
+	Cylinders int
+	// WriteFrac is the fraction of streams that record rather than play
+	// (non-linear editing supports real-time writes).
+	WriteFrac float64
+	// Burst is the number of requests issued back-to-back each period
+	// (requests "arrive in bursts"; served in batches).
+	Burst int
+}
+
+// Generate builds the trace sorted by arrival time.
+func (s Streams) Generate() ([]*core.Request, error) {
+	if s.Users <= 0 || s.Duration <= 0 {
+		return nil, fmt.Errorf("workload: Users and Duration must be positive")
+	}
+	if s.BitRate <= 0 || s.BlockSize <= 0 {
+		return nil, fmt.Errorf("workload: BitRate and BlockSize must be positive")
+	}
+	if s.Levels < 1 || s.Cylinders < 1 {
+		return nil, fmt.Errorf("workload: Levels and Cylinders must be positive")
+	}
+	if s.DeadlineMax < s.DeadlineMin || s.DeadlineMin <= 0 {
+		return nil, fmt.Errorf("workload: invalid deadline range [%d,%d]", s.DeadlineMin, s.DeadlineMax)
+	}
+	burst := s.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	rng := stats.NewRNG(s.Seed)
+	// A stream consumes BitRate bits/s; each block lasts blockPeriod.
+	blockPeriod := int64(float64(s.BlockSize*8) / s.BitRate * 1e6)
+	period := blockPeriod * int64(burst)
+
+	var reqs []*core.Request
+	id := uint64(1)
+	for u := 0; u < s.Users; u++ {
+		urng := rng.Split()
+		level := urng.NormalLevel(s.Levels, 0.25)
+		write := urng.Float64() < s.WriteFrac
+		cyl := urng.Intn(s.Cylinders)
+		phase := int64(urng.Uint64n(uint64(period)))
+		for t := phase; t < s.Duration; t += period {
+			// Blocks fetched for one playback period share their deadline.
+			dl := t + s.DeadlineMin
+			if span := s.DeadlineMax - s.DeadlineMin; span > 0 {
+				dl += int64(urng.Uint64n(uint64(span) + 1))
+			}
+			for b := 0; b < burst; b++ {
+				reqs = append(reqs, &core.Request{
+					ID:         id,
+					Arrival:    t,
+					Deadline:   dl,
+					Cylinder:   cyl,
+					Size:       s.BlockSize,
+					Write:      write,
+					Priorities: []int{level},
+				})
+				id++
+				// Sequential file layout: the next block sits on the same
+				// or next cylinder; edits occasionally jump elsewhere.
+				if urng.Float64() < 0.02 {
+					cyl = urng.Intn(s.Cylinders)
+				} else if urng.Float64() < 0.5 {
+					cyl = (cyl + 1) % s.Cylinders
+				}
+			}
+		}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+	for i, r := range reqs {
+		r.ID = uint64(i + 1)
+	}
+	return reqs, nil
+}
+
+// MustGenerate is Generate for static configurations.
+func (s Streams) MustGenerate() []*core.Request {
+	reqs, err := s.Generate()
+	if err != nil {
+		panic(err)
+	}
+	return reqs
+}
