@@ -1,0 +1,29 @@
+# Developer entry points; CI runs the same targets.
+
+.PHONY: all vet build test race bench bench-smoke micro
+
+all: vet build test
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Full benchmark suite with allocation columns.
+bench:
+	go test -run '^$$' -bench . -benchmem ./...
+
+# One iteration of every benchmark: catches bit-rot without the cost.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x ./...
+
+# Hot-path micro-costs (curve index, value cascade, dispatch cycle).
+micro:
+	go run ./cmd/schedbench -exp micro

@@ -7,6 +7,8 @@ package sfcsched
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"sfcsched/internal/core"
@@ -189,6 +191,42 @@ func benchCurveIndex(b *testing.B, name string, dims int, side uint32) {
 	_ = sink
 }
 
+// benchCurveIndexFast is benchCurveIndex on the unchecked scratch-carrying
+// hot path (what the Encapsulator calls per request).
+func benchCurveIndexFast(b *testing.B, name string, dims int, side uint32) {
+	c := sfc.MustNew(name, dims, side)
+	p := make(sfc.Point, dims)
+	scratch := make([]uint32, c.ScratchLen())
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d := range p {
+			p[d] = uint32((i * (d + 7)) % int(c.Side()))
+		}
+		sink += c.IndexFast(p, scratch)
+	}
+	_ = sink
+}
+
+// benchCurveLUT measures the table-accelerated path on a grid small enough
+// for sfc.Accelerate to wrap.
+func benchCurveLUT(b *testing.B, name string, dims int, side uint32) {
+	c := sfc.Accelerate(sfc.MustNew(name, dims, side))
+	if _, ok := c.(*sfc.LUT); !ok {
+		b.Fatalf("%s %dd/%d not LUT-accelerated", name, dims, side)
+	}
+	p := make(sfc.Point, dims)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d := range p {
+			p[d] = uint32((i * (d + 7)) % int(c.Side()))
+		}
+		sink += c.IndexFast(p, nil)
+	}
+	_ = sink
+}
+
 func BenchmarkSweepIndex4D(b *testing.B)    { benchCurveIndex(b, "sweep", 4, 16) }
 func BenchmarkScanIndex4D(b *testing.B)     { benchCurveIndex(b, "scan", 4, 16) }
 func BenchmarkGrayIndex4D(b *testing.B)     { benchCurveIndex(b, "gray", 4, 16) }
@@ -198,6 +236,12 @@ func BenchmarkSpiralIndex2D(b *testing.B)   { benchCurveIndex(b, "spiral", 2, 40
 func BenchmarkDiagonalIndex2D(b *testing.B) { benchCurveIndex(b, "diagonal", 2, 4096) }
 func BenchmarkHilbertIndex12D(b *testing.B) { benchCurveIndex(b, "hilbert", 12, 16) }
 func BenchmarkPeanoIndex12D(b *testing.B)   { benchCurveIndex(b, "peano", 12, 27) }
+
+func BenchmarkHilbertIndexFast4D(b *testing.B)  { benchCurveIndexFast(b, "hilbert", 4, 16) }
+func BenchmarkHilbertIndexFast12D(b *testing.B) { benchCurveIndexFast(b, "hilbert", 12, 16) }
+func BenchmarkPeanoIndexFast4D(b *testing.B)    { benchCurveIndexFast(b, "peano", 4, 16) }
+func BenchmarkHilbertLUT3D(b *testing.B)        { benchCurveLUT(b, "hilbert", 3, 8) }
+func BenchmarkPeanoLUT3D(b *testing.B)          { benchCurveLUT(b, "peano", 3, 9) }
 
 // --- Micro-benchmarks: encapsulation and dispatch ---
 
@@ -224,13 +268,107 @@ func BenchmarkDispatcherAddNext(b *testing.B) {
 	for i := range reqs {
 		reqs[i] = &core.Request{ID: uint64(i)}
 	}
+	// Steady state: a standing queue of 4096 requests with one Add and one
+	// Next per iteration, so queue depth is constant and any per-op heap
+	// garbage shows up in the allocs column. (The seed version of this
+	// bench computed `x % 1 << 20`, which is zero — every request carried
+	// the same value — and let the queue grow without bound; the value
+	// distribution below is the one it intended.)
+	val := func(i int) uint64 { return uint64(i*2654435761) % (1 << 20) }
+	for i := 0; i < 4096; i++ {
+		d.Add(reqs[i%64], val(i))
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d.Add(reqs[i%64], uint64((i*2654435761)%1<<20))
-		if i%2 == 1 {
-			d.Next()
+		d.Add(reqs[i%64], val(i))
+		d.Next()
+	}
+}
+
+func BenchmarkSchedulerAddBatch(b *testing.B) {
+	s := core.MustScheduler("bench", core.EncapsulatorConfig{
+		Curve1: sfc.MustNew("hilbert", 3, 8), Levels: 8,
+		UseDeadline: true, F: 1, DeadlineHorizon: 700_000, DeadlineSpan: 700_000, DeadlineSlack: true,
+		UseCylinder: true, R: 3, Cylinders: 3832,
+	}, core.DispatcherConfig{Mode: core.FullyPreemptive}, 0)
+	batch := make([]*core.Request, 256)
+	for i := range batch {
+		batch[i] = &core.Request{
+			ID: uint64(i), Priorities: []int{i % 8, (i * 3) % 8, (i * 5) % 8},
+			Deadline: int64(500_000 + i*300), Cylinder: (i * 37) % 3832,
 		}
 	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddBatch(batch, int64(i), i%3832)
+		for s.Next(int64(i), i%3832) != nil {
+		}
+	}
+	b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "requests/s")
+}
+
+// BenchmarkConcurrentIngress measures sharded Add throughput as GOMAXPROCS
+// grows: run with `-cpu 1,2,4` and a fixed `-benchtime=Nx` to compare the
+// same total work. Ingress-only by design — Next is single-consumer, and the
+// criterion under test is producer-side scaling.
+func BenchmarkConcurrentIngress(b *testing.B) {
+	s := core.MustShardedScheduler("bench", core.EncapsulatorConfig{
+		Curve1: sfc.MustNew("hilbert", 3, 8), Levels: 8,
+		UseDeadline: true, F: 1, DeadlineHorizon: 700_000, DeadlineSpan: 700_000, DeadlineSlack: true,
+		UseCylinder: true, R: 3, Cylinders: 3832,
+	}, 0)
+	var worker atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		// Each worker owns a disjoint ID range so the Fibonacci shard hash
+		// sees the full spread it would in a live system. Requests are
+		// pre-built (a producer would hand over existing requests); all
+		// producers observe the same head position, as they would between
+		// two dispatches of the single arm.
+		base := worker.Add(1) << 32
+		ring := make([]core.Request, 1024)
+		for j := range ring {
+			ring[j] = core.Request{
+				ID: base | uint64(j), Priorities: []int{j % 8, (j * 3) % 8, (j * 5) % 8},
+				Deadline: int64(500_000 + j%4096), Cylinder: (j * 37) % 3832,
+			}
+		}
+		i := 0
+		for pb.Next() {
+			s.Add(&ring[i&1023], int64(i), 1200)
+			i++
+		}
+	})
+}
+
+// BenchmarkConcurrentIngressSingleLock is the contention baseline for
+// BenchmarkConcurrentIngress: the same workload funneled through one mutex
+// around the serial Scheduler. On a multi-core machine the gap between the
+// two at -cpu 4 is the sharding win.
+func BenchmarkConcurrentIngressSingleLock(b *testing.B) {
+	s := core.MustScheduler("bench", core.EncapsulatorConfig{
+		Curve1: sfc.MustNew("hilbert", 3, 8), Levels: 8,
+		UseDeadline: true, F: 1, DeadlineHorizon: 700_000, DeadlineSpan: 700_000, DeadlineSlack: true,
+		UseCylinder: true, R: 3, Cylinders: 3832,
+	}, core.DispatcherConfig{Mode: core.FullyPreemptive}, 0)
+	var mu sync.Mutex
+	var worker atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		base := worker.Add(1) << 32
+		ring := make([]core.Request, 1024)
+		for j := range ring {
+			ring[j] = core.Request{
+				ID: base | uint64(j), Priorities: []int{j % 8, (j * 3) % 8, (j * 5) % 8},
+				Deadline: int64(500_000 + j%4096), Cylinder: (j * 37) % 3832,
+			}
+		}
+		i := 0
+		for pb.Next() {
+			mu.Lock()
+			s.Add(&ring[i&1023], int64(i), 1200)
+			mu.Unlock()
+			i++
+		}
+	})
 }
 
 func BenchmarkSimulatorThroughput(b *testing.B) {

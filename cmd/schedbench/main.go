@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(experiments.All(), ", ")+", ablations, or all")
+		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(experiments.All(), ", ")+", ablations, micro, or all")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		requests = flag.Int("requests", 0, "override request count (0 = experiment default)")
 		users    = flag.String("users", "", "fig11 only: comma-separated user counts")
@@ -56,6 +56,8 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 		return experiments.Table1(out)
 	case "ablations":
 		return experiments.Ablations(out, seed)
+	case "micro":
+		return runMicro(out)
 	case "fig5":
 		cfg := experiments.DefaultSFC1Config()
 		cfg.Seed = seed
@@ -152,7 +154,7 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 		}
 		render(res)
 	default:
-		return fmt.Errorf("unknown experiment (known: %s)", strings.Join(experiments.All(), ", "))
+		return fmt.Errorf("unknown experiment (known: %s, ablations, micro)", strings.Join(experiments.All(), ", "))
 	}
 	return nil
 }

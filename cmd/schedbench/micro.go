@@ -1,0 +1,96 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/sfc"
+)
+
+// runMicro reports the measured cost of the scheduler's hot-path building
+// blocks: curve index computation (checked, unchecked, table-accelerated),
+// the full three-stage value cascade, and a steady-state dispatch cycle.
+// Each row is (ns/op, allocs/op) over a fixed iteration count, allocations
+// counted from runtime.MemStats.
+func runMicro(out io.Writer) error {
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "micro\tns/op\tallocs/op")
+
+	row := func(name string, iters int, fn func(i int)) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn(i)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		fmt.Fprintf(w, "%s\t%.1f\t%.3f\n",
+			name,
+			float64(elapsed.Nanoseconds())/float64(iters),
+			float64(after.Mallocs-before.Mallocs)/float64(iters))
+	}
+
+	const iters = 1_000_000
+	var sink uint64
+
+	// Curve index paths: the checked reference, the scratch-carrying fast
+	// path, and the LUT the Encapsulator swaps in for small grids.
+	hil := sfc.MustNew("hilbert", 3, 8)
+	lut := sfc.Accelerate(hil)
+	scratch := make([]uint32, hil.ScratchLen())
+	p := make(sfc.Point, 3)
+	fill := func(i int) {
+		p[0], p[1], p[2] = uint32(i)&7, uint32(i>>3)&7, uint32(i>>6)&7
+	}
+	row("hilbert-3d8.Index", iters, func(i int) { fill(i); sink += hil.Index(p) })
+	row("hilbert-3d8.IndexFast", iters, func(i int) { fill(i); sink += hil.IndexFast(p, scratch) })
+	row("hilbert-3d8.LUT", iters, func(i int) { fill(i); sink += lut.IndexFast(p, nil) })
+
+	big := sfc.MustNew("hilbert", 12, 16)
+	bscratch := make([]uint32, big.ScratchLen())
+	bp := make(sfc.Point, 12)
+	row("hilbert-12d16.IndexFast", iters/10, func(i int) {
+		for d := range bp {
+			bp[d] = uint32(i*(d+7)) & 15
+		}
+		sink += big.IndexFast(bp, bscratch)
+	})
+
+	// Full cascade: priorities through SFC1, deadline through SFC2,
+	// cylinder through SFC3.
+	enc := core.MustEncapsulator(core.EncapsulatorConfig{
+		Curve1: sfc.MustNew("hilbert", 3, 8), Levels: 8,
+		UseDeadline: true, F: 1, DeadlineHorizon: 700_000, DeadlineSpan: 700_000, DeadlineSlack: true,
+		UseCylinder: true, R: 3, Cylinders: 3832,
+	})
+	r := &core.Request{Priorities: []int{3, 1, 6}, Deadline: 600_000, Cylinder: 1200}
+	row("encapsulator.ValueAt", iters, func(i int) {
+		sink += enc.ValueAt(r, int64(i), i%3832, uint64(i))
+	})
+
+	// Steady-state dispatch cycle over a standing queue of 4096.
+	d := core.MustDispatcher(core.DispatcherConfig{
+		Mode: core.ConditionallyPreemptive, Window: 1000, SP: true,
+	})
+	reqs := make([]*core.Request, 64)
+	for i := range reqs {
+		reqs[i] = &core.Request{ID: uint64(i)}
+	}
+	val := func(i int) uint64 { return uint64(i*2654435761) % (1 << 20) }
+	for i := 0; i < 4096; i++ {
+		d.Add(reqs[i%64], val(i))
+	}
+	row("dispatcher.Add+Next", iters, func(i int) {
+		d.Add(reqs[i%64], val(i))
+		d.Next()
+	})
+
+	_ = sink
+	return w.Flush()
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+)
+
+// The hot path of every dispatch cycle — value computation, enqueue,
+// dequeue — must not touch the garbage collector in steady state. These
+// gates pin that property so a regression shows up as a test failure, not
+// as a benchmark drift someone has to notice.
+
+// skipUnderRace skips allocation gates under the race detector, whose
+// instrumentation forces sync.Pool to allocate on every Get.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation gates are meaningless under -race")
+	}
+}
+
+func TestValueAtNoAllocs(t *testing.T) {
+	skipUnderRace(t)
+	e := MustEncapsulator(shardedTestConfig())
+	r := &Request{Priorities: []int{3, 1, 6}, Deadline: 600_000, Cylinder: 1200}
+	e.ValueAt(r, 0, 0, 0) // warm the scratch pool
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.ValueAt(r, 1, 7, 3)
+	})
+	if allocs != 0 {
+		t.Errorf("ValueAt allocates %v per op", allocs)
+	}
+}
+
+func TestDispatcherSteadyStateNoAllocs(t *testing.T) {
+	skipUnderRace(t)
+	d := MustDispatcher(DispatcherConfig{Mode: ConditionallyPreemptive, Window: 1000, SP: true})
+	reqs := make([]*Request, 64)
+	for i := range reqs {
+		reqs[i] = &Request{ID: uint64(i)}
+	}
+	i := 0
+	for ; i < 1024; i++ {
+		d.Add(reqs[i%64], uint64(i*2654435761)%(1<<20))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		d.Add(reqs[i%64], uint64(i*2654435761)%(1<<20))
+		d.Next()
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Add+Next allocates %v per op in steady state", allocs)
+	}
+}
+
+func TestSchedulerAddNoAllocs(t *testing.T) {
+	skipUnderRace(t)
+	s := MustScheduler("x", shardedTestConfig(), DispatcherConfig{Mode: FullyPreemptive}, 0)
+	reqs := make([]*Request, 64)
+	for i := range reqs {
+		reqs[i] = &Request{ID: uint64(i), Priorities: []int{i % 8, (i * 3) % 8, 0}, Deadline: 500_000, Cylinder: (i * 37) % 3832}
+	}
+	// Grow the heap once, then drain: capacity stays as a freelist.
+	for i := 0; i < 1024; i++ {
+		s.Add(reqs[i%64], int64(i), 0)
+	}
+	for s.Next(0, 0) != nil {
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		s.Add(reqs[i%64], int64(i), i%3832)
+		s.Next(int64(i), i%3832)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Scheduler Add+Next allocates %v per op in steady state", allocs)
+	}
+}
+
+func TestShardedAddNextNoAllocs(t *testing.T) {
+	skipUnderRace(t)
+	ss := MustShardedScheduler("s", shardedTestConfig(), 4)
+	reqs := make([]*Request, 64)
+	for i := range reqs {
+		reqs[i] = &Request{ID: uint64(i), Priorities: []int{i % 8, 0, 0}, Deadline: 500_000, Cylinder: (i * 37) % 3832}
+	}
+	for i := 0; i < 1024; i++ {
+		ss.Add(reqs[i%64], int64(i), 0)
+	}
+	for ss.Next(0, 0) != nil {
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		ss.Add(reqs[i%64], int64(i), 0)
+		ss.Next(int64(i), 0)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("sharded Add+Next allocates %v per op in steady state", allocs)
+	}
+}
+
+func TestAddBatchSteadyStateNoAllocs(t *testing.T) {
+	skipUnderRace(t)
+	s := MustScheduler("x", shardedTestConfig(), DispatcherConfig{Mode: FullyPreemptive}, 0)
+	batch := make([]*Request, 128)
+	for i := range batch {
+		batch[i] = &Request{ID: uint64(i), Priorities: []int{i % 8, 0, 0}, Deadline: 500_000, Cylinder: (i * 37) % 3832}
+	}
+	// One warm-up cycle sizes vbuf and the heap slice.
+	s.AddBatch(batch, 0, 0)
+	for s.Next(0, 0) != nil {
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.AddBatch(batch, 1, 7)
+		for s.Next(1, 7) != nil {
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AddBatch cycle allocates %v per batch in steady state", allocs)
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -57,35 +56,30 @@ type DispatcherConfig struct {
 	Expansion float64
 }
 
-// entry is one queued request with its characterization value.
+// entry is one queued request with its characterization value. Entries are
+// stored by value inside the queue heaps: enqueueing boxes nothing.
 type entry struct {
-	v         uint64
-	seq       uint64 // FIFO tie-break
-	req       *Request
-	preempter bool // entered q by preemption or promotion
+	v   uint64
+	seq uint64 // FIFO tie-break
+	req *Request
+	// gen stamps preempters with the serving-queue epoch they preempted
+	// into; a batch swap bumps the epoch, which retires every outstanding
+	// preempter mark in O(1) instead of clearing flags across the queue.
+	gen       uint32
+	preempter bool // entered q by preemption or promotion in epoch gen
 }
 
-// vheap is a min-heap of entries ordered by (v, seq).
-type vheap []*entry
+// entryCmp orders entries by (v, seq). It is a zero-size Comparer so the
+// heap's sift comparisons compile to direct, inlinable code.
+type entryCmp struct{}
 
-func (h vheap) Len() int { return len(h) }
-func (h vheap) Less(i, j int) bool {
-	if h[i].v != h[j].v {
-		return h[i].v < h[j].v
+// Less implements Comparer.
+func (entryCmp) Less(a, b *entry) bool {
+	if a.v != b.v {
+		return a.v < b.v
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h vheap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *vheap) Push(x any)   { *h = append(*h, x.(*entry)) }
-func (h *vheap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-func (h vheap) peek() *entry { return h[0] }
 
 // DispatchStats counts dispatcher policy events.
 type DispatchStats struct {
@@ -95,15 +89,18 @@ type DispatchStats struct {
 }
 
 // Dispatcher drains requests in characterization-value order under the
-// configured preemption policy. It is not safe for concurrent use.
+// configured preemption policy. It is not safe for concurrent use; see
+// ShardedScheduler for a concurrent front-end.
 type Dispatcher struct {
-	cfg   DispatcherConfig
-	q     vheap // serving queue
-	qw    vheap // waiting queue q'
-	cur   *entry
-	w     uint64 // current window (ER may expand it)
-	seq   uint64
-	stats DispatchStats
+	cfg    DispatcherConfig
+	q      Heap4[entry, entryCmp] // serving queue
+	qw     Heap4[entry, entryCmp] // waiting queue q'
+	curV   uint64                 // value of the in-service request
+	hasCur bool
+	w      uint64 // current window (ER may expand it)
+	seq    uint64
+	gen    uint32 // serving-queue epoch; see entry.gen
+	stats  DispatchStats
 }
 
 // NewDispatcher returns a dispatcher for cfg.
@@ -138,26 +135,61 @@ func (d *Dispatcher) Window() uint64 { return d.w }
 func (d *Dispatcher) Stats() DispatchStats { return d.stats }
 
 // Len returns the number of queued (not yet dispatched) requests.
-func (d *Dispatcher) Len() int { return len(d.q) + len(d.qw) }
+func (d *Dispatcher) Len() int { return d.q.Len() + d.qw.Len() }
 
 // Add enqueues r with characterization value v.
 func (d *Dispatcher) Add(r *Request, v uint64) {
-	e := &entry{v: v, seq: d.seq, req: r}
+	e := entry{v: v, seq: d.seq, req: r}
 	d.seq++
 	switch d.cfg.Mode {
 	case FullyPreemptive:
-		heap.Push(&d.q, e)
+		d.q.Push(e)
 	case NonPreemptive:
-		heap.Push(&d.qw, e)
+		d.qw.Push(e)
 	case ConditionallyPreemptive:
-		if d.cur != nil && d.clearsWindow(v, d.cur.v) {
+		if d.hasCur && d.clearsWindow(v, d.curV) {
 			e.preempter = true
+			e.gen = d.gen
 			d.notePreemption()
-			heap.Push(&d.q, e)
+			d.q.Push(e)
 		} else {
-			heap.Push(&d.qw, e)
+			d.qw.Push(e)
 		}
 	}
+}
+
+// AddBatch enqueues rs[i] with value vs[i] for every i, preserving Add's
+// per-arrival semantics. In the fully- and non-preemptive modes an empty
+// target queue is bulk-loaded and heapified once (Floyd build) instead of
+// sifting each arrival up individually; the conditionally-preemptive mode
+// must evaluate the blocking window per arrival and degenerates to a loop.
+func (d *Dispatcher) AddBatch(rs []*Request, vs []uint64) {
+	if len(rs) != len(vs) {
+		panic(fmt.Sprintf("core: AddBatch length mismatch: %d requests, %d values", len(rs), len(vs)))
+	}
+	var target *Heap4[entry, entryCmp]
+	switch d.cfg.Mode {
+	case FullyPreemptive:
+		target = &d.q
+	case NonPreemptive:
+		target = &d.qw
+	default:
+		for i, r := range rs {
+			d.Add(r, vs[i])
+		}
+		return
+	}
+	if target.Len() > 0 {
+		for i, r := range rs {
+			d.Add(r, vs[i])
+		}
+		return
+	}
+	for i, r := range rs {
+		target.Append(entry{v: vs[i], seq: d.seq, req: r})
+		d.seq++
+	}
+	target.Build()
 }
 
 // clearsWindow reports whether value v is significantly higher priority
@@ -181,43 +213,44 @@ func (d *Dispatcher) notePreemption() {
 // Next dispatches the highest-priority request, or nil when empty. The
 // returned request is considered in service until the following Next call.
 func (d *Dispatcher) Next() *Request {
-	if len(d.q) == 0 {
-		if len(d.qw) == 0 {
-			d.cur = nil
+	if d.q.Len() == 0 {
+		if d.qw.Len() == 0 {
+			d.hasCur = false
 			return nil
 		}
-		d.q, d.qw = d.qw, d.q
+		d.q.SwapWith(&d.qw)
 		d.stats.Swaps++
 		// A swapped-in batch is the new serving set; none of its members
-		// preempted anything.
-		for _, e := range d.q {
-			e.preempter = false
-		}
+		// preempted anything. Advancing the epoch retires any stale
+		// preempter marks without touching the batch.
+		d.gen++
 	}
-	if d.cfg.Mode == ConditionallyPreemptive && d.cfg.SP && len(d.qw) > 0 {
+	if d.cfg.Mode == ConditionallyPreemptive && d.cfg.SP && d.qw.Len() > 0 {
 		d.promote()
 	}
-	e := heap.Pop(&d.q).(*entry)
-	if d.cfg.ER && !e.preempter {
+	e := d.q.Pop()
+	if d.cfg.ER && !(e.preempter && e.gen == d.gen) {
 		d.w = d.cfg.Window
 	}
-	d.cur = e
+	d.curV = e.v
+	d.hasCur = true
 	return e.req
 }
 
 // promote implements SP: any waiting request that clears the window
 // against the next serving-queue request joins the serving queue.
 func (d *Dispatcher) promote() {
-	next := d.q.peek()
-	for len(d.qw) > 0 && d.clearsWindow(d.qw.peek().v, next.v) {
-		e := heap.Pop(&d.qw).(*entry)
+	next := d.q.Peek().v
+	for d.qw.Len() > 0 && d.clearsWindow(d.qw.Peek().v, next) {
+		e := d.qw.Pop()
 		e.preempter = true
+		e.gen = d.gen
 		d.stats.Promotions++
 		if d.cfg.ER {
 			d.noteERPromotion()
 		}
-		heap.Push(&d.q, e)
-		next = d.q.peek()
+		d.q.Push(e)
+		next = d.q.Peek().v
 	}
 }
 
@@ -234,10 +267,10 @@ func (d *Dispatcher) noteERPromotion() {
 // Each visits every queued request (serving and waiting queues, not the
 // in-service one). Metrics use it to sample priority inversions.
 func (d *Dispatcher) Each(visit func(*Request)) {
-	for _, e := range d.q {
+	for _, e := range d.q.Slice() {
 		visit(e.req)
 	}
-	for _, e := range d.qw {
+	for _, e := range d.qw.Slice() {
 		visit(e.req)
 	}
 }

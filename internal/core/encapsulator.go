@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"sync"
 
 	"sfcsched/internal/sfc"
 )
@@ -93,14 +95,41 @@ type EncapsulatorConfig struct {
 
 // Encapsulator maps requests to characterization values v_c (paper Fig. 2,
 // "Part 1"). It is safe for concurrent use after construction.
+//
+// The value computation is allocation-free: per-call working memory (curve
+// points and scratch words) comes from an internal sync.Pool, small SFC1
+// grids are served from a precomputed lookup table (sfc.Accelerate), and
+// all axis rescaling is exact 128-bit integer arithmetic.
 type Encapsulator struct {
 	cfg EncapsulatorConfig
+
+	c1       sfc.Curve // cfg.Curve1, possibly LUT-accelerated
+	c2       sfc.Curve // cfg.Curve2, possibly LUT-accelerated
+	lvl2cell []uint32  // clamped priority level -> Curve1 cell coordinate
 
 	max1 uint64 // exclusive bound on stage-1 output
 	max2 uint64 // exclusive bound on stage-2 output
 	ps   uint64 // SFC3 partition size
 	maxX uint64 // effective SFC3 X-axis bound (ps * R)
 	max  uint64 // exclusive bound on v_c
+
+	pool sync.Pool // *encScratch; nil New when no stage needs scratch
+}
+
+// encScratch is the pooled per-call working set of ValueAt. The stage-1
+// memo rides along: multimedia workloads enqueue long runs of requests
+// with identical priority vectors (one per stream), so remembering the last
+// cell -> index mapping per pooled scratch skips the curve walk entirely on
+// repeats. A miss costs one Dims()-word compare.
+type encScratch struct {
+	p  sfc.Point // stage-1 cell
+	s  []uint32  // Curve1 IndexFast scratch
+	p2 sfc.Point // stage-2 cell (always len 2)
+	s2 []uint32  // Curve2 IndexFast scratch
+
+	memoOK  bool
+	memoVal uint64
+	memoKey []uint32 // last stage-1 cell
 }
 
 // NewEncapsulator validates cfg and returns a ready encapsulator.
@@ -114,6 +143,12 @@ func NewEncapsulator(cfg EncapsulatorConfig) (*Encapsulator, error) {
 	e := &Encapsulator{cfg: cfg}
 	if cfg.Curve1 != nil {
 		e.max1 = cfg.Curve1.MaxIndex()
+		e.c1 = sfc.Accelerate(cfg.Curve1)
+		side := uint64(cfg.Curve1.Side())
+		e.lvl2cell = make([]uint32, cfg.Levels)
+		for l := range e.lvl2cell {
+			e.lvl2cell[l] = uint32(uint64(l) * side / uint64(cfg.Levels))
+		}
 	} else {
 		e.max1 = uint64(cfg.Levels)
 	}
@@ -126,7 +161,7 @@ func NewEncapsulator(cfg EncapsulatorConfig) (*Encapsulator, error) {
 			return nil, fmt.Errorf("core: F must be >= 0, got %v", cfg.F)
 		}
 		if cfg.DeadlineSpan < 0 || cfg.DeadlineSpan > cfg.DeadlineHorizon {
-			return nil, fmt.Errorf("core: DeadlineSpan %d outside (0, DeadlineHorizon]", cfg.DeadlineSpan)
+			return nil, fmt.Errorf("core: DeadlineSpan %d outside [0, DeadlineHorizon] (0 defaults to the horizon)", cfg.DeadlineSpan)
 		}
 		if cfg.DeadlineSpan == 0 {
 			e.cfg.DeadlineSpan = cfg.DeadlineHorizon
@@ -137,6 +172,7 @@ func NewEncapsulator(cfg EncapsulatorConfig) (*Encapsulator, error) {
 				return nil, fmt.Errorf("core: Curve2 must be 2-dimensional, got %d", cfg.Curve2.Dims())
 			}
 			e.max2 = cfg.Curve2.MaxIndex()
+			e.c2 = sfc.Accelerate(cfg.Curve2)
 		case cfg.F == 0 || math.IsInf(cfg.F, 1):
 			// Lexicographic composition at the extremes.
 			e.max2 = stage2Res * stage2Res
@@ -164,7 +200,24 @@ func NewEncapsulator(cfg EncapsulatorConfig) (*Encapsulator, error) {
 	} else {
 		e.max = e.max2
 	}
+	if e.c1 != nil || e.c2 != nil {
+		e.pool.New = e.newScratch
+	}
 	return e, nil
+}
+
+// newScratch builds one pooled working set sized for the configured curves.
+func (e *Encapsulator) newScratch() any {
+	sc := &encScratch{p2: make(sfc.Point, 2)}
+	if e.c1 != nil {
+		sc.p = make(sfc.Point, e.c1.Dims())
+		sc.s = make([]uint32, e.c1.ScratchLen())
+		sc.memoKey = make([]uint32, e.c1.Dims())
+	}
+	if e.c2 != nil {
+		sc.s2 = make([]uint32, e.c2.ScratchLen())
+	}
+	return sc
 }
 
 // MustEncapsulator is NewEncapsulator for static configurations.
@@ -197,38 +250,62 @@ func (e *Encapsulator) Value(r *Request, now int64, head int) uint64 {
 // comparable on this absolute sweep timeline; Scheduler tracks progress
 // automatically. With UseCylinder unset, progress is ignored.
 func (e *Encapsulator) ValueAt(r *Request, now int64, head int, progress uint64) uint64 {
-	v := e.stage1(r)
+	var sc *encScratch
+	if e.pool.New != nil {
+		sc = e.pool.Get().(*encScratch)
+	}
+	v := e.stage1(r, sc)
 	if e.cfg.UseDeadline {
-		v = e.stage2(v, r, now)
+		v = e.stage2(v, r, now, sc)
 	}
 	if e.cfg.UseCylinder {
 		v = e.stage3(v, r, head, progress)
+	}
+	if sc != nil {
+		e.pool.Put(sc)
 	}
 	return v
 }
 
 // stage1 collapses the D priority dimensions through SFC1.
-func (e *Encapsulator) stage1(r *Request) uint64 {
-	c := e.cfg.Curve1
+func (e *Encapsulator) stage1(r *Request, sc *encScratch) uint64 {
+	c := e.c1
 	if c == nil {
 		if len(r.Priorities) == 0 {
 			return 0
 		}
 		return uint64(clampLevel(r.Priorities[0], e.cfg.Levels))
 	}
-	p := make(sfc.Point, c.Dims())
-	side := uint64(c.Side())
+	p := sc.p
 	for i := range p {
+		var cell uint32
 		if i < len(r.Priorities) {
-			l := uint64(clampLevel(r.Priorities[i], e.cfg.Levels))
-			p[i] = uint32(l * side / uint64(e.cfg.Levels))
+			cell = e.lvl2cell[clampLevel(r.Priorities[i], e.cfg.Levels)]
+		}
+		p[i] = cell
+	}
+	if sc.memoOK && cellsEqual(p, sc.memoKey) {
+		return sc.memoVal
+	}
+	v := c.IndexFast(p, sc.s)
+	copy(sc.memoKey, p)
+	sc.memoOK = true
+	sc.memoVal = v
+	return v
+}
+
+// cellsEqual reports whether two equal-length cells match.
+func cellsEqual(a sfc.Point, b []uint32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
-	return c.Index(p)
+	return true
 }
 
 // stage2 combines the stage-1 value with the deadline.
-func (e *Encapsulator) stage2(v1 uint64, r *Request, now int64) uint64 {
+func (e *Encapsulator) stage2(v1 uint64, r *Request, now int64, sc *encScratch) uint64 {
 	pn := scale(v1, e.max1, stage2Res)
 	d := r.Deadline
 	if e.cfg.DeadlineSlack {
@@ -244,14 +321,17 @@ func (e *Encapsulator) stage2(v1 uint64, r *Request, now int64) uint64 {
 	}
 	dn := scale(uint64(d), uint64(e.cfg.DeadlineHorizon)+1, stage2Res)
 
-	if c := e.cfg.Curve2; c != nil {
+	if c := e.c2; c != nil {
 		side := uint64(c.Side())
 		x := uint32(scale(dn, stage2Res, side))
 		y := uint32(scale(pn, stage2Res, side))
+		p2 := sc.p2
 		if e.cfg.Curve2PriorityOnY {
-			return c.Index(sfc.Point{x, y})
+			p2[0], p2[1] = x, y
+		} else {
+			p2[0], p2[1] = y, x
 		}
-		return c.Index(sfc.Point{y, x})
+		return c.IndexFast(p2, sc.s2)
 	}
 
 	switch {
@@ -321,7 +401,10 @@ func (e *Encapsulator) stage3(v2 uint64, r *Request, head int, progress uint64) 
 	return yv*e.ps + (xv - e.ps*pn)
 }
 
-// scale maps v in [0, from) onto [0, to) preserving order.
+// scale maps v in [0, from) onto [0, to) preserving order. The mapping is
+// the exact floor(v*to/from), computed with a 128-bit intermediate
+// (math/bits.Mul64/Div64) so no grid size can lose order to floating-point
+// rounding; power-of-two grids reduce to a shift.
 func scale(v, from, to uint64) uint64 {
 	if from == 0 {
 		return 0
@@ -329,8 +412,31 @@ func scale(v, from, to uint64) uint64 {
 	if v >= from {
 		v = from - 1
 	}
-	// Use float math to avoid overflow on large from*to products; the
-	// precision of float64 (53 bits) exceeds every grid used here.
+	if from&(from-1) == 0 && to&(to-1) == 0 {
+		fb, tb := bits.Len64(from)-1, bits.Len64(to)-1
+		if tb >= fb {
+			return v << (tb - fb)
+		}
+		return v >> (fb - tb)
+	}
+	// v < from, so the 128-bit quotient v*to/from < to fits in 64 bits and
+	// Div64 cannot trap.
+	hi, lo := bits.Mul64(v, to)
+	q, _ := bits.Div64(hi, lo, from)
+	return q
+}
+
+// scaleFloat is the pre-integer float64 implementation of scale, kept as a
+// test oracle: the exact path must agree with it on every grid whose
+// products stay within float64's 53-bit mantissa (all grids the
+// encapsulator uses).
+func scaleFloat(v, from, to uint64) uint64 {
+	if from == 0 {
+		return 0
+	}
+	if v >= from {
+		v = from - 1
+	}
 	return uint64(float64(v) * float64(to) / float64(from))
 }
 

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// popAll drains h and returns the (v, seq) sequence.
+func popAll(h *Heap4[entry, entryCmp]) []entry {
+	out := make([]entry, 0, h.Len())
+	for h.Len() > 0 {
+		out = append(out, h.Pop())
+	}
+	return out
+}
+
+func checkSorted(t *testing.T, es []entry) {
+	t.Helper()
+	var cmp entryCmp
+	for i := 1; i < len(es); i++ {
+		if cmp.Less(&es[i], &es[i-1]) {
+			t.Fatalf("pop %d: (%d,%d) after (%d,%d)", i, es[i].v, es[i].seq, es[i-1].v, es[i-1].seq)
+		}
+	}
+}
+
+func TestHeap4SortsRandomInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Heap4[entry, entryCmp]
+	const n = 2000
+	counts := map[uint64]int{}
+	for i := 0; i < n; i++ {
+		v := uint64(rng.Intn(300)) // few distinct values: exercise seq ties
+		counts[v]++
+		h.Push(entry{v: v, seq: uint64(i)})
+	}
+	out := popAll(&h)
+	if len(out) != n {
+		t.Fatalf("popped %d of %d", len(out), n)
+	}
+	checkSorted(t, out)
+	for _, e := range out {
+		counts[e.v]--
+	}
+	for v, c := range counts {
+		if c != 0 {
+			t.Fatalf("value %d count off by %d", v, c)
+		}
+	}
+}
+
+func TestHeap4BuildMatchesPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 2, 5, 63, 64, 65, 1000} {
+		var pushed, built Heap4[entry, entryCmp]
+		for i := 0; i < n; i++ {
+			e := entry{v: uint64(rng.Intn(100)), seq: uint64(i)}
+			pushed.Push(e)
+			built.Append(e)
+		}
+		built.Build()
+		p, b := popAll(&pushed), popAll(&built)
+		if len(p) != len(b) {
+			t.Fatalf("n=%d: lengths differ: %d vs %d", n, len(p), len(b))
+		}
+		for i := range p {
+			if p[i] != b[i] {
+				t.Fatalf("n=%d: pop %d differs: %+v vs %+v", n, i, p[i], b[i])
+			}
+		}
+	}
+}
+
+func TestHeap4MixedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Heap4[entry, entryCmp]
+	seq := uint64(0)
+	var drained []entry
+	for round := 0; round < 50; round++ {
+		for i := 0; i < rng.Intn(40); i++ {
+			h.Push(entry{v: uint64(rng.Intn(50)), seq: seq})
+			seq++
+		}
+		for i := rng.Intn(30); i > 0 && h.Len() > 0; i-- {
+			drained = append(drained, h.Pop())
+		}
+		// Within one drain run order must hold; across runs it need not,
+		// so only check the invariant that Peek is the minimum.
+		if h.Len() > 0 {
+			min := *h.Peek()
+			var cmp entryCmp
+			for i := range h.Slice() {
+				if cmp.Less(&h.Slice()[i], &min) {
+					t.Fatalf("round %d: Peek %+v not minimal", round, min)
+				}
+			}
+		}
+	}
+}
+
+func TestHeap4SwapWith(t *testing.T) {
+	var a, b Heap4[entry, entryCmp]
+	a.Push(entry{v: 1})
+	a.Push(entry{v: 2})
+	b.Push(entry{v: 7})
+	a.SwapWith(&b)
+	if a.Len() != 1 || b.Len() != 2 {
+		t.Fatalf("lens after swap: %d, %d", a.Len(), b.Len())
+	}
+	if a.Peek().v != 7 || b.Peek().v != 1 {
+		t.Fatalf("mins after swap: %d, %d", a.Peek().v, b.Peek().v)
+	}
+}
+
+func TestHeap4PopReleasesSlot(t *testing.T) {
+	var h Heap4[entry, entryCmp]
+	r := &Request{ID: 9}
+	h.Push(entry{v: 1, req: r})
+	h.Push(entry{v: 2, req: r})
+	h.Pop()
+	// The vacated tail slot must not pin the request pointer.
+	if tail := h.a[:cap(h.a)][h.Len()]; tail.req != nil {
+		t.Error("popped slot still references the request")
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// sweepHeadBits is the width of the head-position field in the packed
+// sweep-timeline word (progress<<sweepHeadBits | head).
+const sweepHeadBits = 16
+
+// ShardedScheduler is a concurrent ingress front-end for the Cascaded-SFC
+// scheduler: many producer goroutines may Add (and one consumer Next)
+// without funneling through a single lock. Arrivals are hashed by request
+// ID onto N mutex-protected sub-queues; Next merges by peeking every
+// shard's minimum and popping the global (value, sequence) minimum, so one
+// disk arm still drains a totally ordered stream.
+//
+// The queue discipline is fully preemptive (pure v_c order). The blocking
+// window machinery of Dispatcher is inherently serial — every arrival must
+// compare against the single in-service request — so the sharded front-end
+// does not offer it; see Dispatcher for the windowed policies.
+//
+// Under a serialized feed (one goroutine alternating Add/Next) dispatch
+// order is bit-for-bit identical to Scheduler with a FullyPreemptive
+// Dispatcher: values are computed with the same sweep-timeline anchoring,
+// and the global sequence counter reproduces the FIFO tie-break. Under
+// concurrent feeds the order is linearized per shard by the mutexes; a
+// request added concurrently with a Next call may be served on the
+// following dispatch, which is the same slack any external queue in front
+// of a single-threaded scheduler would introduce.
+type ShardedScheduler struct {
+	enc  *Encapsulator
+	name string
+
+	shards []ingressShard
+	mask   uint64
+
+	// seq is the global FIFO tie-break counter.
+	seq atomic.Uint64
+	// sweep packs the SFC3 scan timeline (progress<<16 | lastHead) into one
+	// word so producers can advance it with a CAS instead of a lock.
+	sweep      atomic.Uint64
+	trackSweep bool
+}
+
+// ingressShard is one mutex-protected sub-queue, padded to a cache line so
+// shards on adjacent slots do not false-share.
+type ingressShard struct {
+	mu sync.Mutex
+	h  Heap4[entry, entryCmp]
+	_  [64]byte
+}
+
+// NewShardedScheduler builds a sharded scheduler over ecfg with the given
+// shard count (rounded up to a power of two; 0 picks 8). Configurations
+// with the SFC3 stage must keep Cylinders below 2^16 — the packed sweep
+// word has 16 bits for the head position — which every disk geometry in
+// the repo satisfies by an order of magnitude.
+func NewShardedScheduler(name string, ecfg EncapsulatorConfig, shards int) (*ShardedScheduler, error) {
+	enc, err := NewEncapsulator(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	if ecfg.UseCylinder && ecfg.Cylinders >= 1<<sweepHeadBits {
+		return nil, fmt.Errorf("core: sharded scheduler supports at most %d cylinders, got %d", 1<<sweepHeadBits-1, ecfg.Cylinders)
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("core: shard count must be >= 0, got %d", shards)
+	}
+	if shards == 0 {
+		shards = 8
+	}
+	n := 1 << bits.Len(uint(shards-1)) // next power of two
+	if name == "" {
+		name = "cascaded-sfc-sharded"
+	}
+	s := &ShardedScheduler{
+		enc:        enc,
+		name:       name,
+		shards:     make([]ingressShard, n),
+		mask:       uint64(n - 1),
+		trackSweep: ecfg.UseCylinder,
+	}
+	return s, nil
+}
+
+// MustShardedScheduler is NewShardedScheduler for static configurations.
+func MustShardedScheduler(name string, ecfg EncapsulatorConfig, shards int) *ShardedScheduler {
+	s, err := NewShardedScheduler(name, ecfg, shards)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the scheduler's display name.
+func (s *ShardedScheduler) Name() string { return s.name }
+
+// Encapsulator exposes the value mapper.
+func (s *ShardedScheduler) Encapsulator() *Encapsulator { return s.enc }
+
+// Shards returns the shard count.
+func (s *ShardedScheduler) Shards() int { return len(s.shards) }
+
+// observeHead advances the packed sweep timeline to the given head position
+// (any movement counts as forward cyclic progress, as in Scheduler) and
+// returns the resulting progress. Lock-free: concurrent observers race the
+// CAS and the loser retries against the merged state.
+func (s *ShardedScheduler) observeHead(head int) uint64 {
+	if !s.trackSweep {
+		return 0
+	}
+	c := s.enc.cfg.Cylinders
+	if head < 0 {
+		head = 0
+	}
+	if head >= c {
+		head = c - 1
+	}
+	for {
+		old := s.sweep.Load()
+		prog := old >> sweepHeadBits
+		last := int(old & (1<<sweepHeadBits - 1))
+		if head == last {
+			// The arm has not moved since the last observation; skip the
+			// CAS so concurrent producers share the cache line read-only.
+			return prog
+		}
+		prog += uint64((head - last + c) % c)
+		if s.sweep.CompareAndSwap(old, prog<<sweepHeadBits|uint64(head)) {
+			return prog
+		}
+	}
+}
+
+// Add enqueues r, computing its characterization value at time now with
+// the disk head at cylinder head. Safe for concurrent use.
+func (s *ShardedScheduler) Add(r *Request, now int64, head int) {
+	prog := s.observeHead(head)
+	e := entry{
+		v:   s.enc.ValueAt(r, now, head, prog),
+		seq: s.seq.Add(1) - 1,
+		req: r,
+	}
+	// Fibonacci hash of the request ID spreads dense IDs across shards.
+	sh := &s.shards[(r.ID*0x9E3779B97F4A7C15)>>32&s.mask]
+	sh.mu.Lock()
+	sh.h.Push(e)
+	sh.mu.Unlock()
+}
+
+// Next dispatches the globally minimum-value request, or nil when empty.
+// Next is intended for a single consumer (the dispatch loop); it may run
+// concurrently with producers calling Add.
+func (s *ShardedScheduler) Next(now int64, head int) *Request {
+	s.observeHead(head)
+	best := -1
+	var bv, bs uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.h.Len() > 0 {
+			t := sh.h.Peek()
+			if best < 0 || t.v < bv || (t.v == bv && t.seq < bs) {
+				best, bv, bs = i, t.v, t.seq
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if best < 0 {
+		return nil
+	}
+	sh := &s.shards[best]
+	sh.mu.Lock()
+	e := sh.h.Pop()
+	sh.mu.Unlock()
+	return e.req
+}
+
+// Len returns the number of queued requests.
+func (s *ShardedScheduler) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.h.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Each visits every queued request. The snapshot is per-shard consistent;
+// concurrent Adds may or may not be observed.
+func (s *ShardedScheduler) Each(visit func(*Request)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.h.Slice() {
+			visit(e.req)
+		}
+		sh.mu.Unlock()
+	}
+}

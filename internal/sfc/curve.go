@@ -50,6 +50,15 @@ type Curve interface {
 	// Index returns the position of p along the curve. It panics if p has
 	// the wrong number of dimensions or an out-of-range coordinate.
 	Index(p Point) uint64
+	// IndexFast returns Index(p) without validating p. When scratch has at
+	// least ScratchLen() elements it is used as working memory and the call
+	// performs no heap allocation; a nil or short scratch falls back to
+	// allocating. Behavior on a point with the wrong dimensionality or an
+	// out-of-range coordinate is undefined.
+	IndexFast(p Point, scratch []uint32) uint64
+	// ScratchLen returns the scratch length IndexFast needs to run
+	// allocation-free; 0 when it needs no working memory.
+	ScratchLen() int
 }
 
 // Inverter is implemented by bijective curves that can also map an index
@@ -60,6 +69,15 @@ type Inverter interface {
 	// non-nil and has capacity Dims(), it is reused. It panics if
 	// idx >= MaxIndex().
 	Point(idx uint64, dst Point) Point
+}
+
+// scratchFor returns a scratch slice of at least n elements, reusing s
+// when its capacity allows.
+func scratchFor(s []uint32, n int) []uint32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint32, n)
 }
 
 // checkPoint panics unless p is a valid cell of a (dims, side) grid.

@@ -57,6 +57,11 @@ func (c *Diagonal) Bijective() bool { return c.dims == 2 }
 // Index implements Curve.
 func (c *Diagonal) Index(p Point) uint64 {
 	checkPoint(p, c.dims, c.side)
+	return c.IndexFast(p, nil)
+}
+
+// IndexFast implements Curve.
+func (c *Diagonal) IndexFast(p Point, _ []uint32) uint64 {
 	if c.dims == 2 {
 		return c.index2(int64(p[0]), int64(p[1]))
 	}
@@ -75,6 +80,9 @@ func (c *Diagonal) Index(p Point) uint64 {
 	cells, _ := pow(uint64(c.side), c.dims)
 	return sum*cells + lex
 }
+
+// ScratchLen implements Curve.
+func (c *Diagonal) ScratchLen() int { return 0 }
 
 // diagLen returns the number of cells on diagonal t of an n-by-n grid.
 func diagLen(t, n int64) int64 {

@@ -1,0 +1,149 @@
+package sfc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fastCases returns one small and one larger configuration per registered
+// curve; the small one is verified exhaustively.
+func fastCases(t testing.TB) []Curve {
+	var cs []Curve
+	for _, name := range Names() {
+		dims := []int{2, 3}
+		if name == "moore" {
+			dims = []int{2}
+		}
+		for _, d := range dims {
+			for _, side := range []uint32{4, 16} {
+				c, err := New(name, d, side)
+				if err != nil {
+					t.Fatalf("New(%s, %d, %d): %v", name, d, side, err)
+				}
+				cs = append(cs, c)
+			}
+		}
+	}
+	// High-dimensional stress for the scratch-carrying curves.
+	cs = append(cs, MustNew("hilbert", 12, 16), MustNew("peano", 8, 9))
+	return cs
+}
+
+// eachCell enumerates all cells of c when the grid is small, and a random
+// sample otherwise.
+func eachCell(c Curve, rng *rand.Rand, visit func(Point)) {
+	cells, _ := pow(uint64(c.Side()), c.Dims())
+	p := make(Point, c.Dims())
+	if cells <= 1<<14 {
+		for n := uint64(0); n < cells; n++ {
+			visit(p)
+			for i := range p {
+				p[i]++
+				if p[i] < c.Side() {
+					break
+				}
+				p[i] = 0
+			}
+		}
+		return
+	}
+	for n := 0; n < 4096; n++ {
+		for i := range p {
+			p[i] = uint32(rng.Intn(int(c.Side())))
+		}
+		visit(p)
+	}
+}
+
+func TestIndexFastMatchesIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range fastCases(t) {
+		scratch := make([]uint32, c.ScratchLen())
+		eachCell(c, rng, func(p Point) {
+			want := c.Index(p)
+			if got := c.IndexFast(p, scratch); got != want {
+				t.Fatalf("%s(%dd,%d): IndexFast(%v) = %d, Index = %d", c.Name(), c.Dims(), c.Side(), p, got, want)
+			}
+			// nil scratch must agree too (allocating fallback).
+			if got := c.IndexFast(p, nil); got != want {
+				t.Fatalf("%s(%dd,%d): IndexFast(%v, nil) = %d, Index = %d", c.Name(), c.Dims(), c.Side(), p, got, want)
+			}
+		})
+	}
+}
+
+func TestIndexFastNoAllocsWithScratch(t *testing.T) {
+	for _, c := range fastCases(t) {
+		c := c
+		scratch := make([]uint32, c.ScratchLen())
+		p := make(Point, c.Dims())
+		for i := range p {
+			p[i] = uint32(i) % c.Side()
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			_ = c.IndexFast(p, scratch)
+		})
+		if allocs != 0 {
+			t.Errorf("%s(%dd,%d): IndexFast allocates %v per op with scratch", c.Name(), c.Dims(), c.Side(), allocs)
+		}
+	}
+}
+
+func TestLUTMatchesIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range fastCases(t) {
+		cells, _ := pow(uint64(c.Side()), c.Dims())
+		l, err := NewLUT(c)
+		if cells > MaxLUTCells {
+			if err == nil {
+				t.Errorf("%s(%dd,%d): NewLUT accepted %d cells", c.Name(), c.Dims(), c.Side(), cells)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s(%dd,%d): NewLUT: %v", c.Name(), c.Dims(), c.Side(), err)
+		}
+		if l.Name() != c.Name() || l.MaxIndex() != c.MaxIndex() || l.Bijective() != c.Bijective() {
+			t.Errorf("%s: LUT metadata mismatch", c.Name())
+		}
+		eachCell(c, rng, func(p Point) {
+			if got, want := l.Index(p), c.Index(p); got != want {
+				t.Fatalf("%s(%dd,%d): LUT.Index(%v) = %d, Index = %d", c.Name(), c.Dims(), c.Side(), p, got, want)
+			}
+		})
+	}
+}
+
+func TestAccelerate(t *testing.T) {
+	small := MustNew("hilbert", 3, 16) // 4096 cells: accelerated
+	if _, ok := Accelerate(small).(*LUT); !ok {
+		t.Error("small grid not accelerated")
+	}
+	// Accelerating twice must not stack LUTs.
+	a := Accelerate(small)
+	if Accelerate(a) != a {
+		t.Error("double acceleration re-wrapped the LUT")
+	}
+	big := MustNew("hilbert", 3, 256) // 2^24 cells: passthrough
+	if Accelerate(big) != big {
+		t.Error("oversized grid should pass through unchanged")
+	}
+}
+
+func FuzzIndexFastEquivalence(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint16(0))
+	f.Add(uint16(13), uint16(200), uint16(31))
+	hil := MustNew("hilbert", 3, 256)
+	pea := MustNew("peano", 3, 27)
+	moo := MustNew("moore", 2, 64)
+	curves := []Curve{hil, pea, moo}
+	scratch := make([]uint32, 8)
+	f.Fuzz(func(t *testing.T, a, b, c uint16) {
+		for _, cv := range curves {
+			p := Point{uint32(a) % cv.Side(), uint32(b) % cv.Side(), uint32(c) % cv.Side()}[:cv.Dims()]
+			if got, want := cv.IndexFast(p, scratch), cv.Index(p); got != want {
+				t.Fatalf("%s: IndexFast(%v) = %d, Index = %d", cv.Name(), p, got, want)
+			}
+		}
+	})
+}

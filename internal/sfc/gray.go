@@ -48,6 +48,14 @@ func (c *Gray) Index(p Point) uint64 {
 	return grayRank(interleave(p, c.bits))
 }
 
+// IndexFast implements Curve.
+func (c *Gray) IndexFast(p Point, _ []uint32) uint64 {
+	return grayRank(interleave(p, c.bits))
+}
+
+// ScratchLen implements Curve.
+func (c *Gray) ScratchLen() int { return 0 }
+
 // Point implements Inverter.
 func (c *Gray) Point(idx uint64, dst Point) Point {
 	checkIndex(idx, c.max)

@@ -44,9 +44,14 @@ func (c *Hilbert) Bijective() bool { return true }
 // Index implements Curve.
 func (c *Hilbert) Index(p Point) uint64 {
 	checkPoint(p, c.dims, c.side)
+	return c.IndexFast(p, nil)
+}
+
+// IndexFast implements Curve.
+func (c *Hilbert) IndexFast(p Point, scratch []uint32) uint64 {
 	// Work on a copy in Skilling's "transpose" layout: X[0] carries the
 	// most significant interleaved bits.
-	x := make([]uint32, c.dims)
+	x := scratchFor(scratch, c.dims)
 	for i := range x {
 		x[i] = p[c.dims-1-i]
 	}
@@ -60,6 +65,9 @@ func (c *Hilbert) Index(p Point) uint64 {
 	}
 	return idx
 }
+
+// ScratchLen implements Curve.
+func (c *Hilbert) ScratchLen() int { return c.dims }
 
 // Point implements Inverter.
 func (c *Hilbert) Point(idx uint64, dst Point) Point {

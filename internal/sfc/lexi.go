@@ -48,12 +48,20 @@ func (c *Sweep) Bijective() bool { return true }
 // Index implements Curve.
 func (c *Sweep) Index(p Point) uint64 {
 	checkPoint(p, c.dims, c.side)
+	return c.IndexFast(p, nil)
+}
+
+// IndexFast implements Curve.
+func (c *Sweep) IndexFast(p Point, _ []uint32) uint64 {
 	var idx uint64
 	for i := c.dims - 1; i >= 0; i-- {
 		idx = idx*uint64(c.side) + uint64(p[i])
 	}
 	return idx
 }
+
+// ScratchLen implements Curve.
+func (c *Sweep) ScratchLen() int { return 0 }
 
 // Point implements Inverter.
 func (c *Sweep) Point(idx uint64, dst Point) Point {
@@ -100,6 +108,11 @@ func (c *Scan) Bijective() bool { return true }
 // Index implements Curve.
 func (c *Scan) Index(p Point) uint64 {
 	checkPoint(p, c.dims, c.side)
+	return c.IndexFast(p, nil)
+}
+
+// IndexFast implements Curve.
+func (c *Scan) IndexFast(p Point, _ []uint32) uint64 {
 	// A dimension's traversal reverses whenever the sum of the original
 	// coordinates of the more significant dimensions is odd (the n-ary
 	// reflected Gray construction), which keeps consecutive cells adjacent.
@@ -115,6 +128,9 @@ func (c *Scan) Index(p Point) uint64 {
 	}
 	return idx
 }
+
+// ScratchLen implements Curve.
+func (c *Scan) ScratchLen() int { return 0 }
 
 // Point implements Inverter.
 func (c *Scan) Point(idx uint64, dst Point) Point {
@@ -171,6 +187,11 @@ func (c *CScan) Bijective() bool { return true }
 // Index implements Curve.
 func (c *CScan) Index(p Point) uint64 {
 	checkPoint(p, c.dims, c.side)
+	return c.IndexFast(p, nil)
+}
+
+// IndexFast implements Curve.
+func (c *CScan) IndexFast(p Point, _ []uint32) uint64 {
 	var idx, sum uint64
 	for i := c.dims - 1; i >= 0; i-- {
 		d := uint64(p[i])
@@ -183,6 +204,9 @@ func (c *CScan) Index(p Point) uint64 {
 	}
 	return idx
 }
+
+// ScratchLen implements Curve.
+func (c *CScan) ScratchLen() int { return 0 }
 
 // Point implements Inverter.
 func (c *CScan) Point(idx uint64, dst Point) Point {

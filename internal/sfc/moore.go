@@ -50,15 +50,8 @@ func (c *Moore) Bijective() bool { return true }
 // half returns the sub-grid side.
 func (c *Moore) half() uint32 { return c.side / 2 }
 
-// subIndex and subPoint handle the bits == 1 degenerate case, where each
-// quadrant is a single cell.
-func (c *Moore) subIndex(p Point) uint64 {
-	if c.sub == nil {
-		return 0
-	}
-	return c.sub.Index(p)
-}
-
+// subPoint handles the bits == 1 degenerate case, where each quadrant is a
+// single cell.
 func (c *Moore) subPoint(idx uint64) Point {
 	if c.sub == nil {
 		return Point{0, 0}
@@ -76,6 +69,11 @@ func (c *Moore) subPoint(idx uint64) Point {
 // Index implements Curve.
 func (c *Moore) Index(p Point) uint64 {
 	checkPoint(p, 2, c.side)
+	return c.IndexFast(p, nil)
+}
+
+// IndexFast implements Curve.
+func (c *Moore) IndexFast(p Point, scratch []uint32) uint64 {
 	m := c.half()
 	x, y := p[0], p[1]
 	var q uint64
@@ -91,8 +89,17 @@ func (c *Moore) Index(p Point) uint64 {
 		q, hx, hy = 3, x-m, m-1-y
 	}
 	quarter := c.max / 4
-	return q*quarter + c.subIndex(Point{hx, hy})
+	var sub uint64
+	if c.sub != nil {
+		s := scratchFor(scratch, 4)
+		s[0], s[1] = hx, hy
+		sub = c.sub.IndexFast(Point(s[:2]), s[2:4])
+	}
+	return q*quarter + sub
 }
+
+// ScratchLen implements Curve.
+func (c *Moore) ScratchLen() int { return 4 }
 
 // Point implements Inverter.
 func (c *Moore) Point(idx uint64, dst Point) Point {

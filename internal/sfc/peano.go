@@ -14,6 +14,7 @@ type Peano struct {
 	order int // digits per dimension
 	side  uint32
 	max   uint64
+	p3    []uint32 // p3[k] = 3^k, k in [0, order)
 }
 
 // NewPeano returns a Peano curve over a (3^order)^dims grid. The total cell
@@ -33,7 +34,12 @@ func NewPeano(dims, order int) (*Peano, error) {
 	if !ok {
 		return nil, fmt.Errorf("sfc: grid 3^(%d*%d) overflows uint64", order, dims)
 	}
-	return &Peano{dims: dims, order: order, side: uint32(side), max: max}, nil
+	p3 := make([]uint32, order)
+	p3[0] = 1
+	for k := 1; k < order; k++ {
+		p3[k] = p3[k-1] * 3
+	}
+	return &Peano{dims: dims, order: order, side: uint32(side), max: max, p3: p3}, nil
 }
 
 // Name implements Curve.
@@ -54,37 +60,42 @@ func (c *Peano) Bijective() bool { return true }
 // Index implements Curve.
 func (c *Peano) Index(p Point) uint64 {
 	checkPoint(p, c.dims, c.side)
-	// Coordinate digits base 3, most significant first.
-	digits := make([][]uint8, c.dims)
-	buf := make([]uint8, c.dims*c.order)
-	for i := 0; i < c.dims; i++ {
-		digits[i] = buf[i*c.order : (i+1)*c.order]
-		v := p[i]
-		for j := c.order - 1; j >= 0; j-- {
-			digits[i][j] = uint8(v % 3)
-			v /= 3
-		}
+	return c.IndexFast(p, nil)
+}
+
+// IndexFast implements Curve.
+//
+// Index digits are emitted level-major, dimension Dims()-1 most significant
+// within each level; a digit is complemented (t -> 2-t) when the sum of the
+// index digits already emitted for the other dimensions is odd. Instead of
+// materializing per-dimension digit arrays, each level's coordinate digit is
+// extracted with a precomputed power-of-3 divide, and the flip parities are
+// tracked as (total emitted) - (emitted by this dimension) using one scratch
+// counter per dimension.
+func (c *Peano) IndexFast(p Point, scratch []uint32) uint64 {
+	own := scratchFor(scratch, c.dims)
+	for i := range own {
+		own[i] = 0
 	}
-	// Emit index digits level-major, dimension Dims()-1 most significant
-	// within each level; flips[i] counts index digits of other dimensions.
-	flips := make([]uint8, c.dims)
+	var sum uint32
 	var idx uint64
 	for j := 0; j < c.order; j++ {
+		div := c.p3[c.order-1-j]
 		for i := c.dims - 1; i >= 0; i-- {
-			t := digits[i][j]
-			if flips[i]&1 == 1 {
+			t := p[i] / div % 3
+			if (sum-own[i])&1 == 1 {
 				t = 2 - t
 			}
 			idx = idx*3 + uint64(t)
-			for k := 0; k < c.dims; k++ {
-				if k != i {
-					flips[k] += t
-				}
-			}
+			own[i] += t
+			sum += t
 		}
 	}
 	return idx
 }
+
+// ScratchLen implements Curve.
+func (c *Peano) ScratchLen() int { return c.dims }
 
 // Point implements Inverter.
 func (c *Peano) Point(idx uint64, dst Point) Point {

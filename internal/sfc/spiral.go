@@ -67,6 +67,11 @@ func (c *Spiral) Bijective() bool { return c.dims == 2 }
 // Index implements Curve.
 func (c *Spiral) Index(p Point) uint64 {
 	checkPoint(p, c.dims, c.side)
+	return c.IndexFast(p, nil)
+}
+
+// IndexFast implements Curve.
+func (c *Spiral) IndexFast(p Point, _ []uint32) uint64 {
 	if c.dims == 2 {
 		return c.index2(p)
 	}
@@ -89,6 +94,9 @@ func (c *Spiral) Index(p Point) uint64 {
 	cells, _ := pow(uint64(c.side), c.dims)
 	return uint64(shell)*cells + lex
 }
+
+// ScratchLen implements Curve.
+func (c *Spiral) ScratchLen() int { return 0 }
 
 // index2 returns the exact 2-D spiral index.
 func (c *Spiral) index2(p Point) uint64 {

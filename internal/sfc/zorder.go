@@ -70,6 +70,14 @@ func (c *ZOrder) Index(p Point) uint64 {
 	return interleave(p, c.bits)
 }
 
+// IndexFast implements Curve.
+func (c *ZOrder) IndexFast(p Point, _ []uint32) uint64 {
+	return interleave(p, c.bits)
+}
+
+// ScratchLen implements Curve.
+func (c *ZOrder) ScratchLen() int { return 0 }
+
 // Point implements Inverter.
 func (c *ZOrder) Point(idx uint64, dst Point) Point {
 	checkIndex(idx, c.max)
