@@ -1,0 +1,83 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sfcsched/internal/core"
+)
+
+func TestObsEndpoints(t *testing.T) {
+	// Generate some scheduler traffic so /metrics shows non-zero counters.
+	s := core.MustScheduler("t", core.EncapsulatorConfig{Levels: 8},
+		core.DispatcherConfig{Mode: core.FullyPreemptive}, 0)
+	for i := 0; i < 5; i++ {
+		s.Add(&core.Request{ID: uint64(i), Priorities: []int{i % 8}}, int64(i), 0)
+	}
+	for s.Next(10, 0) != nil {
+	}
+
+	srv := httptest.NewServer(newObsMux())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE sfcsched_adds_total counter",
+		"sfcsched_adds_total",
+		"# TYPE sfcsched_dispatch_wait_us histogram",
+		"sfcsched_dispatch_wait_us_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if !strings.Contains(body, `"sfcsched"`) {
+		t.Errorf("/debug/vars missing sfcsched snapshot:\n%s", body)
+	}
+
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+}
+
+func TestServeObsBindsAndServes(t *testing.T) {
+	ln, err := serveObs("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics over -http listener: status %d", resp.StatusCode)
+	}
+}

@@ -28,8 +28,22 @@ func main() {
 		requests = flag.Int("requests", 0, "override request count (0 = experiment default)")
 		users    = flag.String("users", "", "fig11 only: comma-separated user counts")
 		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		httpAddr = flag.String("http", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof/ on this address, and stay alive after the experiments finish (e.g. :9090)")
 	)
 	flag.Parse()
+
+	if *httpAddr != "" {
+		ln, err := serveObs(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "schedbench: observability on http://%s/metrics (pprof at /debug/pprof/)\n", ln.Addr())
+		defer func() {
+			fmt.Fprintf(os.Stderr, "schedbench: experiments done; serving http://%s until interrupted\n", ln.Addr())
+			select {}
+		}()
+	}
 
 	ids := experiments.All()
 	if *exp != "all" {

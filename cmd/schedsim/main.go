@@ -8,11 +8,14 @@
 //	schedsim -sched edf -requests 8000 -interarrival 10ms
 //	schedsim -sched all                 # every scheduler over the same trace
 //	schedsim -trace open.csv -sched all # replay a tracegen CSV file
+//	schedsim -sched cascaded -dispatch-trace run.jsonl  # JSONL dispatch log
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -42,6 +45,7 @@ func main() {
 		sizeMax      = flag.Int64("size-max", 256<<10, "transfer size of the lowest priority, bytes")
 		drop         = flag.Bool("drop", true, "drop requests whose deadline passed before service")
 		traceFile    = flag.String("trace", "", "replay a tracegen CSV file instead of generating a workload")
+		dispatchOut  = flag.String("dispatch-trace", "", "write a JSONL stream of dispatch decisions to this file (- for stdout)")
 	)
 	flag.Parse()
 
@@ -90,6 +94,21 @@ func main() {
 		names = []string{"cascaded", "fcfs", "sstf", "scan", "cscan", "edf", "scan-edf",
 			"fd-scan", "scan-rt", "ssedo", "ssedv", "multi-queue", "bucket", "kamel"}
 	}
+	var traceHook func(sim.TraceEvent)
+	if *dispatchOut != "" {
+		w := io.Writer(os.Stdout)
+		if *dispatchOut != "-" {
+			f, err := os.Create(*dispatchOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			bw := bufio.NewWriter(f)
+			defer bw.Flush()
+			w = bw
+		}
+		traceHook = sim.JSONLTrace(w)
+	}
 	fmt.Printf("%-12s %8s %8s %8s %10s %10s %12s\n",
 		"scheduler", "served", "dropped", "late", "seek(s)", "busy(s)", "inversions")
 	for _, name := range names {
@@ -100,6 +119,7 @@ func main() {
 		res, err := sim.Run(sim.Config{
 			Disk: m, Scheduler: s, DropLate: *drop,
 			Dims: *dims, Levels: *levels, Seed: *seed,
+			Trace: traceHook,
 		}, trace)
 		if err != nil {
 			fatal(err)

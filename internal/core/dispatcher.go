@@ -101,6 +101,7 @@ type Dispatcher struct {
 	seq    uint64
 	gen    uint32 // serving-queue epoch; see entry.gen
 	stats  DispatchStats
+	m      *Metrics // never nil; DefaultMetrics unless overridden
 }
 
 // NewDispatcher returns a dispatcher for cfg.
@@ -116,7 +117,7 @@ func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
 			return nil, fmt.Errorf("core: ER expansion must be > 1, got %v", cfg.Expansion)
 		}
 	}
-	return &Dispatcher{cfg: cfg, w: cfg.Window}, nil
+	return &Dispatcher{cfg: cfg, w: cfg.Window, m: DefaultMetrics}, nil
 }
 
 // MustDispatcher is NewDispatcher for static configurations.
@@ -134,6 +135,14 @@ func (d *Dispatcher) Window() uint64 { return d.w }
 // Stats returns the policy-event counters so far.
 func (d *Dispatcher) Stats() DispatchStats { return d.stats }
 
+// SetMetrics redirects the dispatcher's observability counters to m
+// (per-instance instead of the process-wide DefaultMetrics). Must be called
+// before the first Add; m must not be nil.
+func (d *Dispatcher) SetMetrics(m *Metrics) { d.m = m }
+
+// Metrics returns the metrics sink the dispatcher reports into.
+func (d *Dispatcher) Metrics() *Metrics { return d.m }
+
 // Len returns the number of queued (not yet dispatched) requests.
 func (d *Dispatcher) Len() int { return d.q.Len() + d.qw.Len() }
 
@@ -141,6 +150,7 @@ func (d *Dispatcher) Len() int { return d.q.Len() + d.qw.Len() }
 func (d *Dispatcher) Add(r *Request, v uint64) {
 	e := entry{v: v, seq: d.seq, req: r}
 	d.seq++
+	d.m.Adds.Inc()
 	switch d.cfg.Mode {
 	case FullyPreemptive:
 		d.q.Push(e)
@@ -156,6 +166,7 @@ func (d *Dispatcher) Add(r *Request, v uint64) {
 			d.qw.Push(e)
 		}
 	}
+	d.m.QueueDepthHiWater.Observe(int64(d.q.Len() + d.qw.Len()))
 }
 
 // AddBatch enqueues rs[i] with value vs[i] for every i, preserving Add's
@@ -190,6 +201,8 @@ func (d *Dispatcher) AddBatch(rs []*Request, vs []uint64) {
 		d.seq++
 	}
 	target.Build()
+	d.m.Adds.Add(uint64(len(rs)))
+	d.m.QueueDepthHiWater.Observe(int64(d.q.Len() + d.qw.Len()))
 }
 
 // clearsWindow reports whether value v is significantly higher priority
@@ -201,13 +214,24 @@ func (d *Dispatcher) clearsWindow(v, ref uint64) bool {
 // notePreemption applies the ER expansion and counts the event.
 func (d *Dispatcher) notePreemption() {
 	d.stats.Preemptions++
+	d.m.Preemptions.Inc()
 	if d.cfg.ER {
-		nw := uint64(float64(d.w) * d.cfg.Expansion)
-		if nw <= d.w { // w == 0 or float saturation
-			nw = d.w + 1
-		}
-		d.w = nw
+		d.expandWindow()
 	}
+}
+
+// expandWindow applies one ER growth step to the blocking window: multiply
+// by the expansion factor, always advancing by at least one so w == 0 and
+// float saturation still make progress. Preemptions and SP promotions share
+// this single implementation so a growth-rule fix cannot land in only one
+// of the two paths.
+func (d *Dispatcher) expandWindow() {
+	nw := uint64(float64(d.w) * d.cfg.Expansion)
+	if nw <= d.w { // w == 0 or float saturation
+		nw = d.w + 1
+	}
+	d.w = nw
+	d.m.WindowExpansions.Inc()
 }
 
 // Next dispatches the highest-priority request, or nil when empty. The
@@ -220,6 +244,7 @@ func (d *Dispatcher) Next() *Request {
 		}
 		d.q.SwapWith(&d.qw)
 		d.stats.Swaps++
+		d.m.Swaps.Inc()
 		// A swapped-in batch is the new serving set; none of its members
 		// preempted anything. Advancing the epoch retires any stale
 		// preempter marks without touching the batch.
@@ -230,6 +255,9 @@ func (d *Dispatcher) Next() *Request {
 	}
 	e := d.q.Pop()
 	if d.cfg.ER && !(e.preempter && e.gen == d.gen) {
+		if d.w != d.cfg.Window {
+			d.m.WindowResets.Inc()
+		}
 		d.w = d.cfg.Window
 	}
 	d.curV = e.v
@@ -246,22 +274,15 @@ func (d *Dispatcher) promote() {
 		e.preempter = true
 		e.gen = d.gen
 		d.stats.Promotions++
+		d.m.Promotions.Inc()
 		if d.cfg.ER {
-			d.noteERPromotion()
+			// A promotion expands the window like a preemption but is not
+			// double counted as an arrival preemption.
+			d.expandWindow()
 		}
 		d.q.Push(e)
 		next = d.q.Peek().v
 	}
-}
-
-// noteERPromotion expands the window for a promotion without double
-// counting it as an arrival preemption.
-func (d *Dispatcher) noteERPromotion() {
-	nw := uint64(float64(d.w) * d.cfg.Expansion)
-	if nw <= d.w {
-		nw = d.w + 1
-	}
-	d.w = nw
 }
 
 // Each visits every queued request (serving and waiting queues, not the

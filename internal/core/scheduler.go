@@ -17,6 +17,8 @@ type Scheduler struct {
 	lastHead int
 
 	vbuf []uint64 // reusable AddBatch value buffer
+
+	m *Metrics // never nil; shared with disp
 }
 
 // NewScheduler builds the full scheduler. If dcfg.Window is zero and
@@ -40,7 +42,7 @@ func NewScheduler(name string, ecfg EncapsulatorConfig, dcfg DispatcherConfig, w
 	if name == "" {
 		name = "cascaded-sfc"
 	}
-	return &Scheduler{enc: enc, disp: disp, name: name}, nil
+	return &Scheduler{enc: enc, disp: disp, name: name, m: disp.Metrics()}, nil
 }
 
 // MustScheduler is NewScheduler for static configurations.
@@ -61,6 +63,17 @@ func (s *Scheduler) Encapsulator() *Encapsulator { return s.enc }
 // Dispatcher exposes the queue machinery (e.g. for policy stats).
 func (s *Scheduler) Dispatcher() *Dispatcher { return s.disp }
 
+// SetMetrics redirects the scheduler's (and its dispatcher's) observability
+// counters to m instead of the process-wide DefaultMetrics. Must be called
+// before the first Add; m must not be nil.
+func (s *Scheduler) SetMetrics(m *Metrics) {
+	s.m = m
+	s.disp.SetMetrics(m)
+}
+
+// Metrics returns the metrics sink the scheduler reports into.
+func (s *Scheduler) Metrics() *Metrics { return s.m }
+
 // observeHead advances the sweep timeline to the given head position.
 // Any movement counts as forward cyclic progress, which is exact while the
 // scheduler itself drives the head in sweep order.
@@ -77,6 +90,7 @@ func (s *Scheduler) observeHead(head int) {
 	}
 	s.progress += uint64((head - s.lastHead + c) % c)
 	s.lastHead = head
+	s.m.SweepProgress.Set(int64(s.progress))
 }
 
 // Add enqueues r, computing its characterization value at time now with
@@ -108,7 +122,11 @@ func (s *Scheduler) AddBatch(rs []*Request, now int64, head int) {
 // Next dispatches the next request, or nil when idle.
 func (s *Scheduler) Next(now int64, head int) *Request {
 	s.observeHead(head)
-	return s.disp.Next()
+	r := s.disp.Next()
+	if r != nil {
+		s.m.noteDispatch(r, now)
+	}
+	return r
 }
 
 // Len returns the number of queued requests.

@@ -11,6 +11,18 @@ import (
 // sweep-timeline word (progress<<sweepHeadBits | head).
 const sweepHeadBits = 16
 
+// maxSweepProgress is the ceiling of the packed 48-bit progress field.
+// Progress saturates here instead of wrapping: a wrap would silently shear
+// the sweep anchor back to near zero, making new arrivals' v_c incomparable
+// with (and ordered ahead of) everything already queued. Saturation freezes
+// the anchor instead, which degrades gracefully to enqueue-time
+// head-relative ordering — every value computed after saturation still uses
+// the same anchor, so the queue stays internally consistent. At one full
+// sweep per 100 ms over a 2^16-cylinder disk, reaching the ceiling takes
+// ~13 years; the saturation counter exists so such a run is visible, not
+// silent.
+const maxSweepProgress = 1<<(64-sweepHeadBits) - 1
+
 // ShardedScheduler is a concurrent ingress front-end for the Cascaded-SFC
 // scheduler: many producer goroutines may Add (and one consumer Next)
 // without funneling through a single lock. Arrivals are hashed by request
@@ -42,8 +54,15 @@ type ShardedScheduler struct {
 	seq atomic.Uint64
 	// sweep packs the SFC3 scan timeline (progress<<16 | lastHead) into one
 	// word so producers can advance it with a CAS instead of a lock.
+	// Progress saturates at maxSweepProgress; see observeHead.
 	sweep      atomic.Uint64
 	trackSweep bool
+
+	// depth approximates the queued-request count for the hi-water gauge
+	// without touching every shard lock on the hot path.
+	depth atomic.Int64
+
+	m *Metrics // never nil; DefaultMetrics unless overridden
 }
 
 // ingressShard is one mutex-protected sub-queue, padded to a cache line so
@@ -83,6 +102,7 @@ func NewShardedScheduler(name string, ecfg EncapsulatorConfig, shards int) (*Sha
 		shards:     make([]ingressShard, n),
 		mask:       uint64(n - 1),
 		trackSweep: ecfg.UseCylinder,
+		m:          DefaultMetrics,
 	}
 	return s, nil
 }
@@ -104,6 +124,25 @@ func (s *ShardedScheduler) Encapsulator() *Encapsulator { return s.enc }
 
 // Shards returns the shard count.
 func (s *ShardedScheduler) Shards() int { return len(s.shards) }
+
+// SetMetrics redirects the scheduler's observability counters to m instead
+// of the process-wide DefaultMetrics. Must be called before the first Add;
+// m must not be nil.
+func (s *ShardedScheduler) SetMetrics(m *Metrics) { s.m = m }
+
+// Metrics returns the metrics sink the scheduler reports into.
+func (s *ShardedScheduler) Metrics() *Metrics { return s.m }
+
+// SweepProgress returns the current scan-timeline progress in cylinders.
+func (s *ShardedScheduler) SweepProgress() uint64 {
+	return s.sweep.Load() >> sweepHeadBits
+}
+
+// SweepSaturated reports whether the packed progress field has reached its
+// 48-bit ceiling and stopped advancing (see maxSweepProgress).
+func (s *ShardedScheduler) SweepSaturated() bool {
+	return s.SweepProgress() >= maxSweepProgress
+}
 
 // observeHead advances the packed sweep timeline to the given head position
 // (any movement counts as forward cyclic progress, as in Scheduler) and
@@ -129,9 +168,24 @@ func (s *ShardedScheduler) observeHead(head int) uint64 {
 			// CAS so concurrent producers share the cache line read-only.
 			return prog
 		}
-		prog += uint64((head - last + c) % c)
-		if s.sweep.CompareAndSwap(old, prog<<sweepHeadBits|uint64(head)) {
-			return prog
+		if prog >= maxSweepProgress {
+			// Saturated: the anchor is frozen (advancing further would wrap
+			// the 48-bit field and corrupt v_c ordering). Skip the CAS too —
+			// once frozen the word never changes again.
+			return maxSweepProgress
+		}
+		np := prog + uint64((head-last+c)%c)
+		if np > maxSweepProgress {
+			np = maxSweepProgress
+		}
+		if s.sweep.CompareAndSwap(old, np<<sweepHeadBits|uint64(head)) {
+			if np == maxSweepProgress {
+				// Only the CAS winner that crossed the ceiling counts the
+				// saturation, so the counter records the transition once.
+				s.m.SweepSaturations.Inc()
+			}
+			s.m.SweepProgress.Set(int64(np))
+			return np
 		}
 	}
 }
@@ -150,6 +204,8 @@ func (s *ShardedScheduler) Add(r *Request, now int64, head int) {
 	sh.mu.Lock()
 	sh.h.Push(e)
 	sh.mu.Unlock()
+	s.m.Adds.Inc()
+	s.m.QueueDepthHiWater.Observe(s.depth.Add(1))
 }
 
 // Next dispatches the globally minimum-value request, or nil when empty.
@@ -177,6 +233,8 @@ func (s *ShardedScheduler) Next(now int64, head int) *Request {
 	sh.mu.Lock()
 	e := sh.h.Pop()
 	sh.mu.Unlock()
+	s.depth.Add(-1)
+	s.m.noteDispatch(e.req, now)
 	return e.req
 }
 

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+)
+
+// The packed sweep word gives progress 48 bits. Before the saturation
+// guard, crossing 2^48 silently truncated the stored progress (the high
+// bits fell off the prog<<16 shift), so the next observation read a
+// near-zero timeline and new arrivals' v_c jumped ahead of everything
+// queued. These tests pin the guarded behaviour at the boundary.
+
+func TestShardedSweepProgressSaturatesAtBoundary(t *testing.T) {
+	s := MustShardedScheduler("s", shardedTestConfig(), 2)
+	m := &Metrics{}
+	s.SetMetrics(m)
+
+	// Seed the timeline 10 cylinders below the ceiling, head at 0.
+	s.sweep.Store((maxSweepProgress - 10) << sweepHeadBits)
+
+	p0 := s.SweepProgress()
+	p1 := s.observeHead(100) // +100 crosses the ceiling: must clamp, not wrap
+	if p1 < p0 {
+		t.Fatalf("progress wrapped: %d -> %d", p0, p1)
+	}
+	if p1 != maxSweepProgress {
+		t.Fatalf("progress = %d, want clamp at %d", p1, maxSweepProgress)
+	}
+	if !s.SweepSaturated() {
+		t.Fatal("SweepSaturated = false after clamping")
+	}
+	if got := m.SweepSaturations.Load(); got != 1 {
+		t.Fatalf("SweepSaturations = %d, want 1", got)
+	}
+
+	// Further observations must stay frozen at the ceiling — monotonic, no
+	// wrap, and no second saturation count.
+	for head := 200; head < 1000; head += 100 {
+		if p := s.observeHead(head); p != maxSweepProgress {
+			t.Fatalf("observeHead(%d) = %d after saturation, want %d", head, p, maxSweepProgress)
+		}
+	}
+	if got := m.SweepSaturations.Load(); got != 1 {
+		t.Fatalf("SweepSaturations = %d after frozen observations, want 1", got)
+	}
+}
+
+// TestShardedSweepOrderStableAcrossBoundary checks the user-visible symptom:
+// a request enqueued after the boundary crossing must not leapfrog an
+// identical-priority request enqueued just before it.
+func TestShardedSweepOrderStableAcrossBoundary(t *testing.T) {
+	s := MustShardedScheduler("s", shardedTestConfig(), 2)
+	s.sweep.Store((maxSweepProgress - 10) << sweepHeadBits)
+
+	mk := func(id uint64, cyl int) *Request {
+		return &Request{ID: id, Priorities: []int{0, 0, 0}, Deadline: 100, Cylinder: cyl}
+	}
+	// Request 1 is enqueued as the head crosses the ceiling (anchored ~100
+	// cylinders ahead on the timeline); request 2 is enqueued a further
+	// 1600 cylinders of head travel later, anchored ~1000 ahead of that.
+	// On the absolute timeline request 1 comes first; with the pre-fix
+	// wrap, request 1's anchor was astronomically large while request 2's
+	// collapsed to near zero, reversing the order.
+	s.Add(mk(1, 500), 0, 400)   // crossing observation: timeline clamps
+	s.Add(mk(2, 3000), 0, 2000) // post-saturation: frozen anchor
+	first := s.Next(0, 2000)
+	if first == nil || first.ID != 1 {
+		t.Fatalf("first dispatch = %+v, want ID 1", first)
+	}
+	second := s.Next(0, 2000)
+	if second == nil || second.ID != 2 {
+		t.Fatalf("second dispatch = %+v, want ID 2", second)
+	}
+}

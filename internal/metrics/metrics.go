@@ -178,6 +178,13 @@ func (c *Collector) FavoredDim() (dim int, inversions uint64) {
 // LinearWeights returns the §6 cost weights for the collector's levels:
 // decreasing linearly from ratio at level 0 (highest priority) to 1 at the
 // lowest level. The paper uses ratio 11.
+//
+// The levels == 1 degenerate case returns [ratio], not [1]: a single level
+// is the highest priority level, and pinning it to ratio keeps the cost of
+// a miss continuous as a configuration collapses from 2 levels to 1
+// (weights [ratio, 1] -> [ratio]) instead of snapping the only weight to
+// the lowest-priority value. Absolute §6 costs for levels == 1 are scaled
+// by ratio accordingly; comparisons across schedulers are unaffected.
 func LinearWeights(levels int, ratio float64) []float64 {
 	w := make([]float64, levels)
 	for i := range w {

@@ -115,6 +115,54 @@ func TestLinearWeights(t *testing.T) {
 	}
 }
 
+// TestLinearWeightsEdgeCases pins the degenerate shapes. The levels == 1
+// decision (weight is ratio, not 1) is deliberate: a single level is the
+// highest priority level, and the weight stays continuous with the
+// two-level case [ratio, 1] — see the LinearWeights doc comment.
+func TestLinearWeightsEdgeCases(t *testing.T) {
+	if w := LinearWeights(0, 11); len(w) != 0 {
+		t.Errorf("0 levels gave %v, want empty", w)
+	}
+	if w := LinearWeights(1, 11); len(w) != 1 || w[0] != 11 {
+		t.Errorf("1 level gave %v, want [11]", w)
+	}
+	if w := LinearWeights(2, 11); w[0] != 11 || w[1] != 1 {
+		t.Errorf("2 levels gave %v, want [11 1]", w)
+	}
+	// ratio 1 flattens every level to weight 1 (the unweighted §6 cost).
+	for _, w := range LinearWeights(5, 1) {
+		if w != 1 {
+			t.Errorf("ratio 1 gave non-unit weight %v", w)
+		}
+	}
+	// The interior is exactly linear, not merely monotonic.
+	w := LinearWeights(3, 11)
+	if w[1] != 6 {
+		t.Errorf("midpoint of [11,1] = %v, want 6", w[1])
+	}
+}
+
+// TestWeightedLossCostErrors covers every rejection path.
+func TestWeightedLossCostErrors(t *testing.T) {
+	c := NewCollector(2, 3)
+	ok := LinearWeights(3, 11)
+	if _, err := c.WeightedLossCost(-1, ok); err == nil {
+		t.Error("negative dimension accepted")
+	}
+	if _, err := c.WeightedLossCost(2, ok); err == nil {
+		t.Error("out-of-range dimension accepted")
+	}
+	if _, err := c.WeightedLossCost(0, nil); err == nil {
+		t.Error("nil weights accepted")
+	}
+	if _, err := c.WeightedLossCost(0, LinearWeights(4, 11)); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	if got, err := c.WeightedLossCost(0, ok); err != nil || got != 0 {
+		t.Errorf("empty collector cost = (%v, %v), want (0, nil)", got, err)
+	}
+}
+
 func TestWeightedLossCost(t *testing.T) {
 	c := NewCollector(1, 2)
 	hi := &core.Request{Priorities: []int{0}}

@@ -131,19 +131,24 @@ func TestCascadedFullStackAgainstBaselines(t *testing.T) {
 		Dims: 3, Levels: 8, DeadlineMin: 500_000, DeadlineMax: 700_000,
 		Cylinders: 3832, SizeMin: 4 << 10, SizeMax: 256 << 10,
 	}.MustGenerate()
-	run := func(s sched.Scheduler) *Result {
-		return MustRun(Config{Disk: xp(), Scheduler: s, DropLate: true, Dims: 3, Levels: 8, Seed: 5}, trace)
+	run := func(s sched.Scheduler, drop bool) *Result {
+		return MustRun(Config{Disk: xp(), Scheduler: s, DropLate: drop, Dims: 3, Levels: 8, Seed: 5}, trace)
 	}
-	cascaded := run(invariantSchedulers()["cascaded"]())
-	fcfs := run(sched.NewFCFS())
-	edf := run(sched.NewEDF())
+	cascaded := run(invariantSchedulers()["cascaded"](), true)
+	fcfs := run(sched.NewFCFS(), true)
+	edf := run(sched.NewEDF(), true)
 	if cascaded.TotalMisses() >= fcfs.TotalMisses() {
 		t.Errorf("cascaded misses %d >= FCFS %d", cascaded.TotalMisses(), fcfs.TotalMisses())
 	}
 	if cascaded.SeekTime >= edf.SeekTime {
 		t.Errorf("cascaded seek %d >= EDF %d", cascaded.SeekTime, edf.SeekTime)
 	}
-	if cascaded.TotalInversions() >= fcfs.TotalInversions() {
-		t.Errorf("cascaded inversions %d >= FCFS %d", cascaded.TotalInversions(), fcfs.TotalInversions())
+	// Inversions are compared under the §5 semantics (no dropping): with
+	// DropLate each scheduler serves a different request subset, so raw
+	// counts are not comparable — only the shared served set is.
+	cascadedND := run(invariantSchedulers()["cascaded"](), false)
+	fcfsND := run(sched.NewFCFS(), false)
+	if cascadedND.TotalInversions() >= fcfsND.TotalInversions() {
+		t.Errorf("cascaded inversions %d >= FCFS %d", cascadedND.TotalInversions(), fcfsND.TotalInversions())
 	}
 }

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/sched"
+)
+
+// Regression for the §5.1 inversion over-count: a request dropped at
+// dispatch time (DropLate) never occupies the disk, so the higher-priority
+// requests still queued behind it are not inverted by it. The accounting
+// used to run before the expiry check and charged them anyway.
+func TestDroppedDispatchCountsNoInversions(t *testing.T) {
+	trace := []*core.Request{
+		// Served first (FCFS), occupying the disk until t = 100_000.
+		{ID: 0, Arrival: 0, Priorities: []int{1}},
+		// Expired long before its dispatch at t = 100_000: dropped.
+		{ID: 1, Arrival: 1, Priorities: []int{3}, Deadline: 10},
+		// Higher priority (level 0 < 3), pending while 1 is dropped.
+		{ID: 2, Arrival: 2, Priorities: []int{0}},
+	}
+	res := MustRun(Config{
+		Scheduler: sched.NewFCFS(), FixedService: 100_000, DropLate: true,
+		Dims: 1, Levels: 4,
+	}, trace)
+	if res.Dropped != 1 || res.Served != 2 {
+		t.Fatalf("dropped/served = %d/%d, want 1/2", res.Dropped, res.Served)
+	}
+	if got := res.TotalInversions(); got != 0 {
+		t.Errorf("inversions = %d, want 0: the dropped dispatch must not count", got)
+	}
+}
+
+// The companion sanity check: a request actually served ahead of a
+// higher-priority one still counts, so the fix moved the accounting, not
+// removed it.
+func TestServedDispatchStillCountsInversions(t *testing.T) {
+	trace := []*core.Request{
+		{ID: 0, Arrival: 0, Priorities: []int{1}},
+		{ID: 1, Arrival: 1, Priorities: []int{3}}, // no deadline: served late
+		{ID: 2, Arrival: 2, Priorities: []int{0}},
+	}
+	res := MustRun(Config{
+		Scheduler: sched.NewFCFS(), FixedService: 100_000, DropLate: true,
+		Dims: 1, Levels: 4,
+	}, trace)
+	if res.Served != 3 {
+		t.Fatalf("served = %d, want 3", res.Served)
+	}
+	// Dispatching 0 inverts nothing (queue empty at t=0); dispatching 1
+	// inverts pending 2; dispatching 2 inverts nothing.
+	if got := res.TotalInversions(); got != 1 {
+		t.Errorf("inversions = %d, want 1", got)
+	}
+}

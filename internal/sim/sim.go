@@ -44,6 +44,11 @@ type Config struct {
 	// SampleRotation draws rotational latency uniformly instead of using
 	// the average. Averaged runs are deterministic given the trace.
 	SampleRotation bool
+	// Trace, when non-nil, receives one TraceEvent per dispatch decision
+	// (served or dropped) — the debugging stream behind policy-bug hunts.
+	// JSONLTrace adapts an io.Writer into a hook. The hook runs inline with
+	// the simulation; a slow sink slows the run, not the modeled clock.
+	Trace func(TraceEvent)
 }
 
 // Result is the outcome of a run.
@@ -109,15 +114,25 @@ func Run(cfg Config, trace []*core.Request) (*Result, error) {
 			now = trace[i].Arrival
 			continue
 		}
-		col.OnDispatch(r, s.Each)
 		if cfg.DropLate && r.Deadline > 0 && now > r.Deadline {
+			// Dropped requests never occupy the disk, so serving others
+			// "ahead" of them costs nothing: they must not contribute to
+			// the §5.1 inversion counts. OnDispatch therefore runs only
+			// after the expiry check.
 			col.OnDropped(r)
+			if cfg.Trace != nil {
+				cfg.Trace(TraceEvent{Now: now, Request: r, Dropped: true, QueueLen: s.Len()})
+			}
 			continue
 		}
+		col.OnDispatch(r, s.Each)
 		seek, svc := cfg.serviceTime(head, r, rng)
 		start := now
 		if cfg.Disk != nil {
 			res.HeadTravel += int64(absInt(r.Cylinder - head))
+		}
+		if cfg.Trace != nil {
+			cfg.Trace(TraceEvent{Now: now, Request: r, Head: head, Seek: seek, Service: svc, QueueLen: s.Len()})
 		}
 		// Arrivals during the service window are delivered with their true
 		// timestamps; the head is en route to (then at) the target.

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+
+	"sfcsched/internal/core"
+)
+
+// TraceEvent describes one dispatch decision of a run: either a service
+// (Seek/Service filled) or a drop (Dropped set). It is handed to
+// Config.Trace synchronously, before the modeled service completes, so a
+// hook sees decisions in dispatch order.
+type TraceEvent struct {
+	// Now is the simulation clock at the decision, microseconds.
+	Now int64
+	// Request is the dispatched request. Hooks must not retain or mutate
+	// it; copy what they need.
+	Request *core.Request
+	// Head is the head cylinder at dispatch (services only).
+	Head int
+	// Seek and Service are the modeled seek and total service time of this
+	// dispatch, microseconds. Zero for drops.
+	Seek    int64
+	Service int64
+	// Dropped marks a §6 deadline drop: the request was dequeued past its
+	// deadline and never occupied the disk.
+	Dropped bool
+	// QueueLen is the number of requests still queued after this decision.
+	QueueLen int
+}
+
+// traceRecord is the flattened JSONL form of a TraceEvent.
+type traceRecord struct {
+	Now      int64  `json:"now"`
+	ID       uint64 `json:"id"`
+	Cylinder int    `json:"cyl"`
+	Arrival  int64  `json:"arrival"`
+	Wait     int64  `json:"wait"`
+	Deadline int64  `json:"deadline,omitempty"`
+	Prio     []int  `json:"prio,omitempty"`
+	Head     int    `json:"head"`
+	Seek     int64  `json:"seek,omitempty"`
+	Service  int64  `json:"service,omitempty"`
+	Dropped  bool   `json:"dropped,omitempty"`
+	Queue    int    `json:"queue"`
+}
+
+// JSONLTrace adapts w into a Config.Trace hook that writes one JSON object
+// per line per dispatch decision. The first write error silences the hook
+// for the rest of the run (the simulation result is unaffected); wrap w in
+// a bufio.Writer for long traces and flush it after Run returns.
+func JSONLTrace(w io.Writer) func(TraceEvent) {
+	enc := json.NewEncoder(w)
+	failed := false
+	return func(ev TraceEvent) {
+		if failed {
+			return
+		}
+		r := ev.Request
+		rec := traceRecord{
+			Now:      ev.Now,
+			ID:       r.ID,
+			Cylinder: r.Cylinder,
+			Arrival:  r.Arrival,
+			Wait:     ev.Now - r.Arrival,
+			Deadline: r.Deadline,
+			Prio:     r.Priorities,
+			Head:     ev.Head,
+			Seek:     ev.Seek,
+			Service:  ev.Service,
+			Dropped:  ev.Dropped,
+			Queue:    ev.QueueLen,
+		}
+		if enc.Encode(rec) != nil {
+			failed = true
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/sched"
+)
+
+func TestJSONLTraceStream(t *testing.T) {
+	trace := []*core.Request{
+		{ID: 0, Arrival: 0, Priorities: []int{1}, Cylinder: 100},
+		{ID: 1, Arrival: 1, Priorities: []int{3}, Deadline: 10, Cylinder: 200},
+		{ID: 2, Arrival: 2, Priorities: []int{0}, Cylinder: 300},
+	}
+	var buf bytes.Buffer
+	res := MustRun(Config{
+		Scheduler: sched.NewFCFS(), FixedService: 100_000, DropLate: true,
+		Dims: 1, Levels: 4, Trace: JSONLTrace(&buf),
+	}, trace)
+
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if want := int(res.Served + res.Dropped); len(lines) != want {
+		t.Fatalf("trace has %d lines, want %d (served %d + dropped %d)",
+			len(lines), want, res.Served, res.Dropped)
+	}
+	type rec struct {
+		Now     int64  `json:"now"`
+		ID      uint64 `json:"id"`
+		Arrival int64  `json:"arrival"`
+		Wait    int64  `json:"wait"`
+		Prio    []int  `json:"prio"`
+		Service int64  `json:"service"`
+		Dropped bool   `json:"dropped"`
+		Queue   int    `json:"queue"`
+	}
+	var prev int64
+	drops := 0
+	for i, ln := range lines {
+		var r rec
+		if err := json.Unmarshal(ln, &r); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, ln)
+		}
+		if r.Now < prev {
+			t.Errorf("line %d: clock went backwards (%d -> %d)", i, prev, r.Now)
+		}
+		prev = r.Now
+		if r.Wait != r.Now-r.Arrival {
+			t.Errorf("line %d: wait = %d, want %d", i, r.Wait, r.Now-r.Arrival)
+		}
+		if r.Dropped {
+			drops++
+			if r.Service != 0 {
+				t.Errorf("line %d: dropped event has service time %d", i, r.Service)
+			}
+		} else if r.Service == 0 {
+			t.Errorf("line %d: served event missing service time", i)
+		}
+	}
+	if drops != int(res.Dropped) {
+		t.Errorf("trace has %d drops, result says %d", drops, res.Dropped)
+	}
+}
+
+// A hook that fails mid-stream must not affect the simulation result.
+func TestJSONLTraceWriterFailureIsIsolated(t *testing.T) {
+	trace := smallTrace()
+	plain := MustRun(Config{Disk: xp(), Scheduler: sched.NewFCFS()}, trace)
+	traced := MustRun(Config{
+		Disk: xp(), Scheduler: sched.NewFCFS(),
+		Trace: JSONLTrace(&failAfter{n: 3}),
+	}, smallTrace())
+	if plain.Makespan != traced.Makespan || plain.Served != traced.Served {
+		t.Error("trace hook changed simulation outcome")
+	}
+}
+
+// failAfter errors every write after the first n.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errWriter
+	}
+	f.n--
+	return len(p), nil
+}
+
+var errWriter = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "sink failed" }
