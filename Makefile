@@ -13,8 +13,10 @@ build:
 test:
 	go test ./...
 
+# Mirrors the CI race job: internal packages carry the concurrent paths
+# (ShardedScheduler, obs counters) and the golden differential suite.
 race:
-	go test -race ./...
+	go test -race ./internal/...
 
 # Full benchmark suite with allocation columns.
 bench:

@@ -381,7 +381,8 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := sim.MustRun(sim.Config{
-			Disk: m, Scheduler: sched.NewCSCAN(), DropLate: true, Seed: 1,
+			Disk: m, Scheduler: sched.NewCSCAN(),
+			Options: sim.Options{DropLate: true, Seed: 1},
 		}, trace)
 		if res.Arrived != 2000 {
 			b.Fatal("lost requests")
@@ -405,7 +406,7 @@ func BenchmarkAblationDeadlineMode(b *testing.B) {
 			Levels: 8, UseDeadline: true, F: math.Inf(1), Tie: core.TiePriority,
 			DeadlineHorizon: 210_000_000, DeadlineSpan: 700_000, DeadlineSlack: slack,
 		}, core.DispatcherConfig{Mode: core.FullyPreemptive}, 0)
-		res := sim.MustRun(sim.Config{Scheduler: s, FixedService: 24_000, DropLate: true, Seed: 1}, trace)
+		res := sim.MustRun(sim.Config{Scheduler: s, FixedService: 24_000, Options: sim.Options{DropLate: true, Seed: 1}}, trace)
 		return float64(res.TotalMisses())
 	}
 	var abs, slack float64
@@ -429,7 +430,8 @@ func BenchmarkAblationSP(b *testing.B) {
 			Curve1: sfc.MustNew("peano", 4, 16), Levels: 16,
 		}, core.DispatcherConfig{Mode: core.ConditionallyPreemptive, SP: sp}, 0.05)
 		res := sim.MustRun(sim.Config{
-			Scheduler: s, FixedService: 24_000, Dims: 4, Levels: 16, Seed: 1,
+			Scheduler: s, FixedService: 24_000,
+			Options: sim.Options{Dims: 4, Levels: 16, Seed: 1},
 		}, trace)
 		return float64(res.TotalInversions())
 	}
@@ -483,7 +485,8 @@ func BenchmarkAblationWindow(b *testing.B) {
 			Curve1: sfc.MustNew("peano", 4, 16), Levels: 16,
 		}, core.DispatcherConfig{Mode: core.ConditionallyPreemptive, SP: true}, frac)
 		sim.MustRun(sim.Config{
-			Scheduler: s, FixedService: 24_000, Dims: 4, Levels: 16, Seed: 1,
+			Scheduler: s, FixedService: 24_000,
+			Options: sim.Options{Dims: 4, Levels: 16, Seed: 1},
 		}, trace)
 		st := s.Dispatcher().Stats()
 		return float64(st.Preemptions + st.Promotions)
@@ -511,7 +514,8 @@ func BenchmarkAblationCurve1(b *testing.B) {
 			Curve1: sfc.MustNew(curve, 4, 16), Levels: 16,
 		}, core.DispatcherConfig{Mode: core.ConditionallyPreemptive, SP: true}, 0.02)
 		res := sim.MustRun(sim.Config{
-			Scheduler: s, FixedService: 24_000, Dims: 4, Levels: 16, Seed: 1,
+			Scheduler: s, FixedService: 24_000,
+			Options: sim.Options{Dims: 4, Levels: 16, Seed: 1},
 		}, trace)
 		return float64(res.TotalInversions())
 	}

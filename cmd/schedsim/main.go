@@ -46,12 +46,25 @@ func main() {
 		drop         = flag.Bool("drop", true, "drop requests whose deadline passed before service")
 		traceFile    = flag.String("trace", "", "replay a tracegen CSV file instead of generating a workload")
 		dispatchOut  = flag.String("dispatch-trace", "", "write a JSONL stream of dispatch decisions to this file (- for stdout)")
+		arrayDisks   = flag.Int("array", 0, "simulate a RAID-5 array with this many disks (0 = single disk)")
+		blockSize    = flag.Int64("block", 64<<10, "array: logical block size, bytes")
+		writeFrac    = flag.Float64("write-frac", 0, "array: fraction of logical writes (read-modify-write)")
 	)
 	flag.Parse()
 
 	m, err := disk.NewModel(disk.QuantumXP32150Params())
 	if err != nil {
 		fatal(err)
+	}
+	var array *disk.RAID5
+	cylinders := m.Cylinders
+	if *arrayDisks > 0 {
+		array, err = disk.NewRAID5(*arrayDisks, *blockSize, m)
+		if err != nil {
+			fatal(err)
+		}
+		// Array workloads address logical blocks, not cylinders.
+		cylinders = int(array.MaxBlocks())
 	}
 	var trace []*core.Request
 	if *traceFile != "" {
@@ -80,9 +93,10 @@ func main() {
 			Levels:           *levels,
 			DeadlineMin:      deadlineMin.Microseconds(),
 			DeadlineMax:      deadlineMax.Microseconds(),
-			Cylinders:        m.Cylinders,
+			Cylinders:        cylinders,
 			SizeMin:          *sizeMin,
 			SizeMax:          *sizeMax,
+			WriteFrac:        *writeFrac,
 		}.Generate()
 		if err != nil {
 			fatal(err)
@@ -109,18 +123,39 @@ func main() {
 		}
 		traceHook = sim.JSONLTrace(w)
 	}
+	opts := sim.Options{
+		DropLate: *drop,
+		Dims:     *dims, Levels: *levels, Seed: *seed,
+		Trace: traceHook,
+	}
 	fmt.Printf("%-12s %8s %8s %8s %10s %10s %12s\n",
 		"scheduler", "served", "dropped", "late", "seek(s)", "busy(s)", "inversions")
 	for _, name := range names {
+		if array != nil {
+			ar, err := sim.RunArray(sim.ArrayConfig{
+				Array: array,
+				NewScheduler: func(int) (sched.Scheduler, error) {
+					return build(name, m, *curve, *f, *r, *window, *levels, *dims, deadlineMax.Microseconds())
+				},
+				Options: opts,
+			}, trace)
+			if err != nil {
+				fatal(err)
+			}
+			inv := uint64(0)
+			for _, c := range ar.PerDisk {
+				inv += c.TotalInversions()
+			}
+			fmt.Printf("%-12s %8d %8d %8d %10.2f %10.2f %12d\n",
+				name, ar.Logical.Served, ar.Logical.Dropped, ar.Logical.Late,
+				float64(ar.SeekTime)/1e6, float64(ar.BusyTime)/1e6, inv)
+			continue
+		}
 		s, err := build(name, m, *curve, *f, *r, *window, *levels, *dims, deadlineMax.Microseconds())
 		if err != nil {
 			fatal(err)
 		}
-		res, err := sim.Run(sim.Config{
-			Disk: m, Scheduler: s, DropLate: *drop,
-			Dims: *dims, Levels: *levels, Seed: *seed,
-			Trace: traceHook,
-		}, trace)
+		res, err := sim.Run(sim.Config{Disk: m, Scheduler: s, Options: opts}, trace)
 		if err != nil {
 			fatal(err)
 		}

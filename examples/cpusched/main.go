@@ -58,10 +58,7 @@ func main() {
 		res, err := sim.Run(sim.Config{
 			Scheduler:    s,
 			FixedService: 9_000,
-			DropLate:     true,
-			Dims:         dims,
-			Levels:       levels,
-			Seed:         21,
+			Options:      sim.Options{DropLate: true, Dims: dims, Levels: levels, Seed: 21},
 		}, trace)
 		if err != nil {
 			panic(err)

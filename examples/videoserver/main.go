@@ -64,10 +64,7 @@ func main() {
 		res, err := sim.RunArray(sim.ArrayConfig{
 			Array:        array,
 			NewScheduler: schedulerFactory(policy, model),
-			DropLate:     true,
-			Dims:         1,
-			Levels:       levels,
-			Seed:         1,
+			Options:      sim.Options{DropLate: true, Dims: 1, Levels: levels, Seed: 1},
 		}, logical)
 		if err != nil {
 			panic(err)

@@ -69,7 +69,8 @@ func ablationCascadeVsSingle(w io.Writer, seed uint64) error {
 	rows := [][]string{{"design", "deadline misses", "inversions", "seek (s)"}}
 	for _, s := range []sched.Scheduler{cascaded, single} {
 		res, err := sim.Run(sim.Config{
-			Disk: m, Scheduler: s, DropLate: true, Dims: 2, Levels: 8, Seed: seed,
+			Disk: m, Scheduler: s,
+			Options: sim.Options{DropLate: true, Dims: 2, Levels: 8, Seed: seed},
 		}, trace)
 		if err != nil {
 			return err
@@ -108,7 +109,7 @@ func ablationDeadlineMode(w io.Writer, seed uint64) error {
 		if err != nil {
 			return 0, err
 		}
-		res, err := sim.Run(sim.Config{Scheduler: s, FixedService: 24_000, DropLate: true, Seed: seed}, trace)
+		res, err := sim.Run(sim.Config{Scheduler: s, FixedService: 24_000, Options: sim.Options{DropLate: true, Seed: seed}}, trace)
 		if err != nil {
 			return 0, err
 		}
@@ -153,7 +154,8 @@ func ablationSP(w io.Writer, seed uint64) error {
 			return 0, err
 		}
 		res, err := sim.Run(sim.Config{
-			Scheduler: s, FixedService: 24_000, Dims: 4, Levels: 16, Seed: seed,
+			Scheduler: s, FixedService: 24_000,
+			Options: sim.Options{Dims: 4, Levels: 16, Seed: seed},
 		}, trace)
 		if err != nil {
 			return 0, err
@@ -232,7 +234,8 @@ func ablationWindow(w io.Writer, seed uint64) error {
 			return err
 		}
 		res, err := sim.Run(sim.Config{
-			Scheduler: s, FixedService: 24_000, Dims: 4, Levels: 16, Seed: seed,
+			Scheduler: s, FixedService: 24_000,
+			Options: sim.Options{Dims: 4, Levels: 16, Seed: seed},
 		}, trace)
 		if err != nil {
 			return err

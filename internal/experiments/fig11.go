@@ -151,8 +151,8 @@ func Fig11(cfg Fig11Config) (*Result, error) {
 				return nil, err
 			}
 			r, err := sim.Run(sim.Config{
-				Disk: m, Scheduler: s, DropLate: true,
-				Dims: 1, Levels: cfg.Levels, Seed: cfg.Seed,
+				Disk: m, Scheduler: s,
+				Options: sim.Options{DropLate: true, Dims: 1, Levels: cfg.Levels, Seed: cfg.Seed},
 			}, trace)
 			if err != nil {
 				return nil, err

@@ -74,10 +74,7 @@ func Fig11RAID(cfg Fig11Config) (*Result, error) {
 				NewScheduler: func(int) (sched.Scheduler, error) {
 					return algs[name]()
 				},
-				DropLate: true,
-				Dims:     1,
-				Levels:   cfg.Levels,
-				Seed:     cfg.Seed,
+				Options: sim.Options{DropLate: true, Dims: 1, Levels: cfg.Levels, Seed: cfg.Seed},
 			}, trace)
 			if err != nil {
 				return nil, err

@@ -55,9 +55,7 @@ func (c SFC1Config) run(s sched.Scheduler, trace []*core.Request) (*sim.Result, 
 	return sim.Run(sim.Config{
 		Scheduler:    s,
 		FixedService: c.Service,
-		Dims:         c.Dims,
-		Levels:       c.Levels,
-		Seed:         c.Seed,
+		Options:      sim.Options{Dims: c.Dims, Levels: c.Levels, Seed: c.Seed},
 	}, trace)
 }
 

@@ -59,10 +59,7 @@ func (c SFC2Config) run(s sched.Scheduler, trace []*core.Request) (*sim.Result, 
 	return sim.Run(sim.Config{
 		Scheduler:    s,
 		FixedService: c.Service,
-		DropLate:     true,
-		Dims:         c.Dims,
-		Levels:       c.Levels,
-		Seed:         c.Seed,
+		Options:      sim.Options{DropLate: true, Dims: c.Dims, Levels: c.Levels, Seed: c.Seed},
 	}, trace)
 }
 

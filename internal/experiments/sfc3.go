@@ -71,10 +71,7 @@ func (c SFC3Config) run(m *disk.Model, s sched.Scheduler, trace []*core.Request)
 	return sim.Run(sim.Config{
 		Disk:      m,
 		Scheduler: s,
-		DropLate:  true,
-		Dims:      c.Dims,
-		Levels:    c.Levels,
-		Seed:      c.Seed,
+		Options:   sim.Options{DropLate: true, Dims: c.Dims, Levels: c.Levels, Seed: c.Seed},
 	}, trace)
 }
 

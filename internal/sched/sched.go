@@ -50,10 +50,15 @@ func (q *queue) Each(visit func(r *core.Request)) {
 	}
 }
 
-// removeAt removes and returns the request at index i.
+// removeAt removes and returns the request at index i. The vacated tail
+// slot is nilled out so served requests become collectible under long
+// traces instead of being pinned by the slice's spare capacity.
 func (q *queue) removeAt(i int) *core.Request {
 	r := q.reqs[i]
-	q.reqs = append(q.reqs[:i], q.reqs[i+1:]...)
+	last := len(q.reqs) - 1
+	copy(q.reqs[i:], q.reqs[i+1:])
+	q.reqs[last] = nil
+	q.reqs = q.reqs[:last]
 	return r
 }
 

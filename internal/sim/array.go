@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"sfcsched/internal/core"
 	"sfcsched/internal/disk"
@@ -14,23 +13,15 @@ import (
 // ArrayConfig configures a RAID-5 array simulation: logical block requests
 // are mapped to physical per-disk operations (reads hit one disk; writes
 // perform read-modify-write on the data and parity disks), each disk runs
-// its own scheduler instance, and the disks proceed in parallel on a
-// shared event timeline.
+// its own scheduler instance on its own Station, and the stations proceed
+// in parallel on the shared engine timeline.
 type ArrayConfig struct {
 	// Array maps logical blocks to physical operations. Required.
 	Array *disk.RAID5
 	// NewScheduler builds the per-disk queue discipline. Required.
 	NewScheduler func(diskID int) (sched.Scheduler, error)
-	// Seed drives rotational-latency sampling when SampleRotation is set.
-	Seed uint64
-	// DropLate drops physical operations whose logical deadline passed
-	// before service; the logical request counts as missed.
-	DropLate bool
-	// Dims and Levels size the logical metrics collector.
-	Dims   int
-	Levels int
-	// SampleRotation draws rotational latencies instead of averaging.
-	SampleRotation bool
+
+	Options
 }
 
 // ArrayResult reports a RAID array run.
@@ -39,10 +30,14 @@ type ArrayResult struct {
 	// when every physical operation completed on time, missed when any
 	// operation was dropped or started late.
 	Logical *metrics.Collector
+	// PerDisk holds one physical collector per disk, fed by the shared
+	// engine dispatch path: per-disk inversions, served/dropped/late
+	// physical operations, seek and busy time.
+	PerDisk []*metrics.Collector
 	// SeekTime and BusyTime aggregate over all disks, µs.
 	SeekTime int64
 	BusyTime int64
-	// PerDiskOps counts physical operations dispatched to each disk.
+	// PerDiskOps counts physical operations enqueued on each disk.
 	PerDiskOps []uint64
 	// Makespan is the completion time of the run, µs.
 	Makespan int64
@@ -59,61 +54,64 @@ type logicalState struct {
 	readsLeft int
 }
 
-// physReq is a physical operation queued on one disk.
-type physReq struct {
-	req    *core.Request // what the disk scheduler sees
-	parent *logicalState
-}
-
-// arrayState is the per-disk runtime state.
-type arrayState struct {
-	sched  sched.Scheduler
-	head   int
-	freeAt int64
-	inSvc  *physReq
-}
-
-// RunArray simulates the logical trace (sorted by arrival) on the array.
+// RunArray simulates the logical trace (sorted by arrival) on the array:
+// an N-station Engine with the RAID-5 logical/physical mapping layered
+// above it through the engine hooks. Physical dispatches flow through the
+// same drop/late/service/metrics path as single-disk runs, so array runs
+// emit the TraceEvent stream (with DiskID set) and per-disk collectors.
 func RunArray(cfg ArrayConfig, logical []*core.Request) (*ArrayResult, error) {
 	if cfg.Array == nil || cfg.NewScheduler == nil {
 		return nil, fmt.Errorf("sim: ArrayConfig needs Array and NewScheduler")
 	}
 	model := cfg.Array.Model
-	disks := make([]*arrayState, cfg.Array.Disks)
-	for d := range disks {
+	stations := make([]*Station, cfg.Array.Disks)
+	perDisk := make([]*metrics.Collector, cfg.Array.Disks)
+	for d := range stations {
 		s, err := cfg.NewScheduler(d)
 		if err != nil {
 			return nil, fmt.Errorf("sim: disk %d scheduler: %w", d, err)
 		}
-		disks[d] = &arrayState{sched: s}
+		perDisk[d] = metrics.NewCollector(cfg.Dims, cfg.Levels)
+		stations[d] = &Station{
+			ID:             d,
+			Sched:          s,
+			Disk:           model,
+			Col:            perDisk[d],
+			SampleRotation: cfg.SampleRotation,
+			// The array models the head position at rest: schedulers see
+			// the last completed cylinder until the next completion.
+		}
 	}
 	res := &ArrayResult{
 		Logical:    metrics.NewCollector(cfg.Dims, cfg.Levels),
+		PerDisk:    perDisk,
 		PerDiskOps: make([]uint64, cfg.Array.Disks),
 	}
-	rng := stats.NewRNG(cfg.Seed)
-	byPhys := make(map[*core.Request]*physReq)
+	eng := &Engine{
+		Stations: stations,
+		DropLate: cfg.DropLate,
+		RNG:      stats.NewRNG(cfg.Seed),
+		Trace:    cfg.Trace,
+	}
+
+	byPhys := make(map[*core.Request]*logicalState)
 	var nextPhysID uint64
 
 	enqueue := func(st *logicalState, ops []disk.PhysOp, now int64) {
 		for _, op := range ops {
 			nextPhysID++
-			pr := &physReq{
-				req: &core.Request{
-					ID:         nextPhysID,
-					Priorities: st.req.Priorities,
-					Deadline:   st.req.Deadline,
-					Cylinder:   op.Cylinder,
-					Size:       op.Size,
-					Arrival:    now,
-					Write:      op.Write,
-					Value:      st.req.Value,
-				},
-				parent: st,
+			pr := &core.Request{
+				ID:         nextPhysID,
+				Priorities: st.req.Priorities,
+				Deadline:   st.req.Deadline,
+				Cylinder:   op.Cylinder,
+				Size:       op.Size,
+				Arrival:    now,
+				Write:      op.Write,
+				Value:      st.req.Value,
 			}
-			byPhys[pr.req] = pr
-			ds := disks[op.Disk]
-			ds.sched.Add(pr.req, now, ds.head)
+			byPhys[pr] = st
+			eng.Stations[op.Disk].Enqueue(pr, now)
 			res.PerDiskOps[op.Disk]++
 		}
 	}
@@ -150,89 +148,45 @@ func RunArray(cfg ArrayConfig, logical []*core.Request) (*ArrayResult, error) {
 		}
 	}
 
-	// dispatch starts service on every idle disk with pending work.
-	dispatch := func(now int64) {
-		for _, ds := range disks {
-			for ds.inSvc == nil && ds.sched.Len() > 0 {
-				r := ds.sched.Next(now, ds.head)
-				if r == nil {
-					break
-				}
-				pr := byPhys[r]
-				delete(byPhys, r)
-				if cfg.DropLate && r.Deadline > 0 && now > r.Deadline {
-					pr.parent.missed = true
-					opDone(pr.parent, now, !r.Write)
-					continue
-				}
-				seek := model.SeekTime(ds.head, r.Cylinder)
-				rot := model.AvgRotationalLatency()
-				if cfg.SampleRotation {
-					rot = model.RotationalLatency(rng)
-				}
-				svc := seek + rot + model.TransferTime(r.Cylinder, r.Size)
-				if r.Deadline > 0 && now > r.Deadline {
-					pr.parent.missed = true
-				}
-				res.SeekTime += seek
-				res.BusyTime += svc
-				ds.inSvc = pr
-				ds.freeAt = now + svc
-			}
-		}
+	eng.OnDropped = func(_ *Station, r *core.Request, now int64) {
+		st := byPhys[r]
+		delete(byPhys, r)
+		st.missed = true
+		opDone(st, now, !r.Write)
+	}
+	eng.OnLateStart = func(_ *Station, r *core.Request, _ int64) {
+		byPhys[r].missed = true
+	}
+	eng.OnServed = func(_ *Station, r *core.Request, now int64) {
+		st := byPhys[r]
+		delete(byPhys, r)
+		opDone(st, now, !r.Write)
 	}
 
-	i := 0 // next logical arrival
-	now := int64(0)
-	for {
-		// Earliest pending event: a logical arrival or a disk completion.
-		next := int64(-1)
-		if i < len(logical) {
-			next = logical[i].Arrival
-		}
-		for _, ds := range disks {
-			if ds.inSvc != nil && (next < 0 || ds.freeAt < next) {
-				next = ds.freeAt
-			}
-		}
-		if next < 0 {
-			break // no arrivals left, no disk busy: queues are drained
-		}
-		now = next
-		// Completions first so freed disks can take the new arrivals.
-		for _, ds := range disks {
-			if ds.inSvc != nil && ds.freeAt <= now {
-				pr := ds.inSvc
-				ds.inSvc = nil
-				ds.head = pr.req.Cylinder
-				opDone(pr.parent, now, !pr.req.Write)
-			}
-		}
-		for i < len(logical) && logical[i].Arrival <= now {
-			lr := logical[i]
-			i++
-			res.Logical.OnArrival(lr)
-			st := &logicalState{req: lr}
-			var phase1 []disk.PhysOp
-			if lr.Write {
-				ops := cfg.Array.Write(blockOf(lr))
-				for _, op := range ops {
-					if op.Write {
-						st.writeOps = append(st.writeOps, op)
-					} else {
-						phase1 = append(phase1, op)
-					}
+	res.Makespan = eng.Run(logical, func(lr *core.Request, now int64) {
+		res.Logical.OnArrival(lr)
+		st := &logicalState{req: lr}
+		var phase1 []disk.PhysOp
+		if lr.Write {
+			ops := cfg.Array.Write(blockOf(lr))
+			for _, op := range ops {
+				if op.Write {
+					st.writeOps = append(st.writeOps, op)
+				} else {
+					phase1 = append(phase1, op)
 				}
-				st.readsLeft = len(phase1)
-			} else {
-				phase1 = cfg.Array.Read(blockOf(lr))
 			}
-			st.pending = len(phase1) + len(st.writeOps)
-			enqueue(st, phase1, now)
+			st.readsLeft = len(phase1)
+		} else {
+			phase1 = cfg.Array.Read(blockOf(lr))
 		}
-		dispatch(now)
+		st.pending = len(phase1) + len(st.writeOps)
+		enqueue(st, phase1, now)
+	})
+	for _, c := range perDisk {
+		res.SeekTime += c.SeekTime
+		res.BusyTime += c.ServiceTime
 	}
-	res.Makespan = now
 	return res, nil
 }
 
@@ -244,12 +198,4 @@ func blockOf(r *core.Request) int64 {
 		return 0
 	}
 	return int64(r.Cylinder)
-}
-
-// SortByArrival orders a trace in place by arrival time (stable), the
-// precondition of Run and RunArray.
-func SortByArrival(trace []*core.Request) {
-	sort.SliceStable(trace, func(i, j int) bool {
-		return trace[i].Arrival < trace[j].Arrival
-	})
 }

@@ -116,7 +116,7 @@ func TestArrayDropsExpired(t *testing.T) {
 		{ID: 1, Arrival: 0, Deadline: 100_000, Cylinder: 0, Size: 64 << 10},
 		{ID: 2, Arrival: 0, Deadline: 1, Cylinder: 4, Size: 64 << 10}, // same disk lane, hopeless
 	}
-	res, err := RunArray(ArrayConfig{Array: array, NewScheduler: fcfsPerDisk, DropLate: true}, trace)
+	res, err := RunArray(ArrayConfig{Array: array, NewScheduler: fcfsPerDisk, Options: Options{DropLate: true}}, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestArrayAbandonsWritePhaseAfterMiss(t *testing.T) {
 	trace := []*core.Request{
 		{ID: 1, Arrival: 10, Deadline: 1, Cylinder: 7, Size: 64 << 10, Write: true},
 	}
-	res, err := RunArray(ArrayConfig{Array: array, NewScheduler: fcfsPerDisk, DropLate: true}, trace)
+	res, err := RunArray(ArrayConfig{Array: array, NewScheduler: fcfsPerDisk, Options: Options{DropLate: true}}, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestArrayDeterministic(t *testing.T) {
 		}.MustGenerate()
 		return trace
 	}
-	cfg := ArrayConfig{Array: array, NewScheduler: fcfsPerDisk, DropLate: true, Dims: 1, Levels: 8}
+	cfg := ArrayConfig{Array: array, NewScheduler: fcfsPerDisk, Options: Options{DropLate: true, Dims: 1, Levels: 8}}
 	a, err := RunArray(cfg, mk())
 	if err != nil {
 		t.Fatal(err)

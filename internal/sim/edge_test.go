@@ -12,7 +12,8 @@ func TestSampledRotationStillDeterministic(t *testing.T) {
 	trace := smallTrace()
 	run := func() *Result {
 		return MustRun(Config{
-			Disk: xp(), Scheduler: sched.NewSSTF(), Seed: 11, SampleRotation: true,
+			Disk: xp(), Scheduler: sched.NewSSTF(),
+			Options: Options{Seed: 11, SampleRotation: true},
 		}, smallTraceCopy(trace))
 	}
 	a, b := run(), run()
@@ -20,7 +21,8 @@ func TestSampledRotationStillDeterministic(t *testing.T) {
 		t.Error("sampled-rotation runs with equal seeds diverged")
 	}
 	c := MustRun(Config{
-		Disk: xp(), Scheduler: sched.NewSSTF(), Seed: 12, SampleRotation: true,
+		Disk: xp(), Scheduler: sched.NewSSTF(),
+		Options: Options{Seed: 12, SampleRotation: true},
 	}, smallTraceCopy(trace))
 	if c.ServiceTime == a.ServiceTime {
 		t.Error("different seeds should sample different latencies")
@@ -39,8 +41,8 @@ func smallTraceCopy(trace []*core.Request) []*core.Request {
 
 func TestSampledRotationWithinBounds(t *testing.T) {
 	trace := smallTrace()
-	avg := MustRun(Config{Disk: xp(), Scheduler: sched.NewFCFS(), Seed: 1}, smallTraceCopy(trace))
-	smp := MustRun(Config{Disk: xp(), Scheduler: sched.NewFCFS(), Seed: 1, SampleRotation: true}, smallTraceCopy(trace))
+	avg := MustRun(Config{Disk: xp(), Scheduler: sched.NewFCFS(), Options: Options{Seed: 1}}, smallTraceCopy(trace))
+	smp := MustRun(Config{Disk: xp(), Scheduler: sched.NewFCFS(), Options: Options{Seed: 1, SampleRotation: true}}, smallTraceCopy(trace))
 	// Sampled rotational latencies average out near the half-revolution
 	// the deterministic mode charges.
 	ratio := float64(smp.ServiceTime) / float64(avg.ServiceTime)
@@ -93,7 +95,8 @@ func TestArrayMixedWorkloadConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := RunArray(ArrayConfig{
-		Array: array, NewScheduler: fcfsPerDisk, DropLate: true, Dims: 1, Levels: 8,
+		Array: array, NewScheduler: fcfsPerDisk,
+		Options: Options{DropLate: true, Dims: 1, Levels: 8},
 	}, trace)
 	if err != nil {
 		t.Fatal(err)

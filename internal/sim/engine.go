@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"sfcsched/internal/core"
+	"sfcsched/internal/disk"
+	"sfcsched/internal/metrics"
+	"sfcsched/internal/sched"
+	"sfcsched/internal/stats"
+)
+
+// This file is the unified event-driven engine behind both public entry
+// points: Run drives a one-station Engine, RunArray an N-station Engine
+// with the RAID-5 logical/physical mapping layered on top through the
+// Engine hooks. There is exactly one dispatch/drop/service/metrics code
+// path — the Station methods below — so every topology observes identical
+// semantics and emits the same TraceEvent stream and metrics.
+
+// Station is one service point of the engine: a disk model (or a fixed
+// service time) plus the queue discipline feeding it. Service is
+// non-interruptible — a dispatched request occupies the station until its
+// completion event fires.
+type Station struct {
+	// ID is the station index; it doubles as TraceEvent.DiskID and as the
+	// deterministic tie-break for same-time completion events.
+	ID int
+	// Sched is the queue discipline under test. Required.
+	Sched sched.Scheduler
+	// Disk models seek/rotation/transfer times. Nil requires FixedService.
+	Disk *disk.Model
+	// Col accumulates this station's physical metrics (dispatch inversions,
+	// served/dropped/late counts, seek and service time). Required.
+	Col *metrics.Collector
+	// TransferOnly charges only media transfer time (the §5.1-5.2
+	// assumption that "the transfer time dominates the seek time").
+	TransferOnly bool
+	// FixedService, when positive, overrides the disk model with a
+	// constant service time (pure queueing experiments).
+	FixedService int64
+	// SampleRotation draws rotational latency from the engine RNG instead
+	// of charging the deterministic average.
+	SampleRotation bool
+	// HeadAtDispatch moves the head to the target cylinder the moment a
+	// service starts, so arrivals during the service window observe the
+	// position the head is en route to (the single-disk semantics). When
+	// false the head stays at its previous resting position until the
+	// completion event fires (the array semantics).
+	HeadAtDispatch bool
+	// IdleProbe calls Next once more when the station drains to idle with
+	// an empty queue, letting stateful schedulers observe the empty point:
+	// the Dispatcher clears its current-serving value (so later arrivals
+	// cannot "preempt" a stale blocking window) and sweep-tracking stages
+	// observe the resting head. Single-disk semantics; the array loop has
+	// never probed.
+	IdleProbe bool
+
+	head       int
+	target     int
+	headTravel int64
+	inSvc      *core.Request
+	svcStart   int64
+	svcSeek    int64
+	svcTime    int64
+}
+
+// Head returns the station's current head cylinder.
+func (s *Station) Head() int { return s.head }
+
+// HeadTravel returns the total cylinders traveled so far.
+func (s *Station) HeadTravel() int64 { return s.headTravel }
+
+// Busy reports whether a service is in flight.
+func (s *Station) Busy() bool { return s.inSvc != nil }
+
+// Enqueue hands r to the station's scheduler with the station's current
+// head position. The head is always a valid (clamped) cylinder, so
+// schedulers never observe a position outside the disk.
+func (s *Station) Enqueue(r *core.Request, now int64) {
+	s.Sched.Add(r, now, s.head)
+}
+
+// serviceTime returns (seekTime, totalServiceTime) for serving r from the
+// station's head. Exactly one RNG draw happens per sampled-rotation
+// service, in dispatch order, which keeps runs reproducible.
+func (s *Station) serviceTime(r *core.Request, rng *stats.RNG) (int64, int64) {
+	if s.FixedService > 0 {
+		return 0, s.FixedService
+	}
+	cyl := clampCyl(r.Cylinder, s.Disk.Cylinders)
+	if s.TransferOnly {
+		return 0, s.Disk.TransferTime(cyl, r.Size)
+	}
+	seek := s.Disk.SeekTime(s.head, cyl)
+	rot := s.Disk.AvgRotationalLatency()
+	if s.SampleRotation {
+		rot = s.Disk.RotationalLatency(rng)
+	}
+	return seek, seek + rot + s.Disk.TransferTime(cyl, r.Size)
+}
+
+// event is one pending engine event. The heap orders events by
+// (time, seq): seq is a deterministic tie-break — completion events use
+// the station ID — so identical configurations replay identically.
+type event struct {
+	time    int64
+	seq     uint64
+	station *Station
+}
+
+func (a event) before(b event) bool {
+	return a.time < b.time || (a.time == b.time && a.seq < b.seq)
+}
+
+// eventHeap is a minimal binary min-heap of events ordered by before.
+type eventHeap []event
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !s[i].before(s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && s[l].before(s[min]) {
+			min = l
+		}
+		if r < len(s) && s[r].before(s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// Engine is the deterministic event-driven simulator core. Configure the
+// fields, then call Run with an arrival-sorted trace and a delivery
+// callback that routes each arriving request onto a station.
+type Engine struct {
+	// Stations are the service points, indexed by Station.ID. At each
+	// event time idle stations dispatch in index order, which fixes the
+	// RNG draw order and makes runs reproducible.
+	Stations []*Station
+	// DropLate drops requests whose deadline has passed at dispatch time
+	// (the §6 semantics). When false, expired requests are still serviced
+	// and counted late.
+	DropLate bool
+	// RNG is the single rotational-latency stream shared by all stations.
+	RNG *stats.RNG
+	// Trace, when non-nil, receives one TraceEvent per dispatch decision
+	// (served or dropped) on any station, with DiskID set to the station
+	// ID. The hook runs inline; a slow sink slows the run, not the clock.
+	Trace func(TraceEvent)
+
+	// OnServed fires when a station completes a service; OnDropped when a
+	// station drops an expired request; OnLateStart when a service starts
+	// past its deadline without DropLate. Multi-stage topologies (RAID
+	// read-modify-write) layer their logical bookkeeping here — the hooks
+	// run inline at the exact event time, so follow-up work they enqueue
+	// participates in the same dispatch round.
+	OnServed    func(st *Station, r *core.Request, now int64)
+	OnDropped   func(st *Station, r *core.Request, now int64)
+	OnLateStart func(st *Station, r *core.Request, now int64)
+
+	events eventHeap
+	now    int64
+}
+
+// Now returns the engine clock, µs.
+func (e *Engine) Now() int64 { return e.now }
+
+// Run drives the engine until every event has fired and the trace is
+// exhausted, returning the completion time of the run (the makespan).
+//
+// The trace must be sorted by arrival time (see SortByArrival). deliver is
+// called once per request at its arrival time and must route it onto a
+// station (Station.Enqueue) after any per-arrival accounting.
+//
+// Determinism rules: the clock advances to the earliest pending event
+// time; at each time all completion events fire first in (time, seq)
+// order, then arrivals in trace order, then idle stations dispatch in
+// station-index order. Identical configurations therefore replay
+// identically, including the RNG draw sequence.
+func (e *Engine) Run(trace []*core.Request, deliver func(r *core.Request, now int64)) int64 {
+	i := 0 // next arrival index
+	for {
+		t := int64(-1)
+		if len(e.events) > 0 {
+			t = e.events[0].time
+		}
+		if i < len(trace) && (t < 0 || trace[i].Arrival < t) {
+			t = trace[i].Arrival
+		}
+		if t < 0 {
+			break // no pending events, no arrivals left
+		}
+		e.now = t
+		// Completions first, so freed stations (and any follow-up work the
+		// OnServed hook enqueues) can take this round's arrivals.
+		for len(e.events) > 0 && e.events[0].time == t {
+			ev := e.events.pop()
+			e.complete(ev.station, t)
+		}
+		for i < len(trace) && trace[i].Arrival <= t {
+			deliver(trace[i], t)
+			i++
+		}
+		for _, st := range e.Stations {
+			e.dispatch(st, t)
+		}
+	}
+	return e.now
+}
+
+// dispatch starts service on st if it is idle and has pending work,
+// dropping expired requests first under DropLate. This is the single
+// drop/late/service-time/metrics code path of the package.
+func (e *Engine) dispatch(st *Station, now int64) {
+	for st.inSvc == nil && st.Sched.Len() > 0 {
+		r := st.Sched.Next(now, st.head)
+		if r == nil {
+			return
+		}
+		if e.DropLate && r.Deadline > 0 && now > r.Deadline {
+			// Dropped requests never occupy the station, so serving others
+			// "ahead" of them costs nothing: they must not contribute to
+			// the §5.1 inversion counts. OnDispatch therefore runs only
+			// after the expiry check.
+			st.Col.OnDropped(r)
+			if e.Trace != nil {
+				e.Trace(TraceEvent{Now: now, DiskID: st.ID, Request: r, Dropped: true, QueueLen: st.Sched.Len()})
+			}
+			if e.OnDropped != nil {
+				e.OnDropped(st, r, now)
+			}
+			continue
+		}
+		st.Col.OnDispatch(r, st.Sched.Each)
+		seek, svc := st.serviceTime(r, e.RNG)
+		target := r.Cylinder
+		if st.Disk != nil {
+			target = clampCyl(r.Cylinder, st.Disk.Cylinders)
+			st.headTravel += int64(absInt(target - st.head))
+		}
+		if e.Trace != nil {
+			e.Trace(TraceEvent{Now: now, DiskID: st.ID, Request: r, Head: st.head, Seek: seek, Service: svc, QueueLen: st.Sched.Len()})
+		}
+		st.inSvc, st.target = r, target
+		st.svcStart, st.svcSeek, st.svcTime = now, seek, svc
+		if st.HeadAtDispatch {
+			// The head is en route to (then at) the clamped target, so
+			// arrivals during the service window observe a valid cylinder.
+			st.head = target
+		}
+		// A deadline is met when service starts in time (the convention of
+		// SCAN-EDF and §6's "serviced prior to the deadline"). Without
+		// DropLate, expired requests are still serviced but counted late.
+		if r.Deadline > 0 && now > r.Deadline {
+			st.Col.OnLate(r)
+			if e.OnLateStart != nil {
+				e.OnLateStart(st, r, now)
+			}
+		}
+		e.events.push(event{time: now + svc, seq: uint64(st.ID), station: st})
+	}
+	if st.IdleProbe && st.inSvc == nil && st.Sched.Len() == 0 {
+		st.Sched.Next(now, st.head)
+	}
+}
+
+// complete fires the completion of st's in-flight service.
+func (e *Engine) complete(st *Station, now int64) {
+	r := st.inSvc
+	st.inSvc = nil
+	if !st.HeadAtDispatch {
+		st.head = st.target
+	}
+	st.Col.OnServed(r, st.svcSeek, st.svcTime, st.svcStart)
+	if e.OnServed != nil {
+		e.OnServed(st, r, now)
+	}
+}

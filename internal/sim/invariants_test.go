@@ -46,8 +46,8 @@ func TestRunInvariants(t *testing.T) {
 	for name, mk := range invariantSchedulers() {
 		for _, drop := range []bool{false, true} {
 			res := MustRun(Config{
-				Disk: xp(), Scheduler: mk(), DropLate: drop,
-				Dims: 2, Levels: 8, Seed: 3,
+				Disk: xp(), Scheduler: mk(),
+				Options: Options{DropLate: drop, Dims: 2, Levels: 8, Seed: 3},
 			}, trace)
 			if res.Arrived != uint64(len(trace)) {
 				t.Errorf("%s drop=%v: arrived %d != %d", name, drop, res.Arrived, len(trace))
@@ -81,7 +81,7 @@ func TestWorkConservation(t *testing.T) {
 		Seed: 4, Count: 800, MeanInterarrival: 1_000,
 		Dims: 1, Levels: 8, Cylinders: 3832, Size: 64 << 10,
 	}.MustGenerate()
-	res := MustRun(Config{Disk: xp(), Scheduler: sched.NewSSTF(), Seed: 4}, trace)
+	res := MustRun(Config{Disk: xp(), Scheduler: sched.NewSSTF(), Options: Options{Seed: 4}}, trace)
 	idle := res.Makespan - res.ServiceTime
 	if idle > trace[0].Arrival+1000 {
 		t.Errorf("disk idled %d us with a saturating queue", idle)
@@ -101,7 +101,7 @@ func TestPerfectPriorityOrderHasZeroInversions(t *testing.T) {
 	}
 	s := core.MustScheduler("strict", core.EncapsulatorConfig{Levels: 8},
 		core.DispatcherConfig{Mode: core.FullyPreemptive}, 0)
-	res := MustRun(Config{Scheduler: s, FixedService: 100, Dims: 1, Levels: 8}, trace)
+	res := MustRun(Config{Scheduler: s, FixedService: 100, Options: Options{Dims: 1, Levels: 8}}, trace)
 	if res.TotalInversions() != 0 {
 		t.Errorf("strict priority order produced %d inversions", res.TotalInversions())
 	}
@@ -132,7 +132,7 @@ func TestCascadedFullStackAgainstBaselines(t *testing.T) {
 		Cylinders: 3832, SizeMin: 4 << 10, SizeMax: 256 << 10,
 	}.MustGenerate()
 	run := func(s sched.Scheduler, drop bool) *Result {
-		return MustRun(Config{Disk: xp(), Scheduler: s, DropLate: drop, Dims: 3, Levels: 8, Seed: 5}, trace)
+		return MustRun(Config{Disk: xp(), Scheduler: s, Options: Options{DropLate: drop, Dims: 3, Levels: 8, Seed: 5}}, trace)
 	}
 	cascaded := run(invariantSchedulers()["cascaded"](), true)
 	fcfs := run(sched.NewFCFS(), true)

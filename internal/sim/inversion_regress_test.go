@@ -21,8 +21,8 @@ func TestDroppedDispatchCountsNoInversions(t *testing.T) {
 		{ID: 2, Arrival: 2, Priorities: []int{0}},
 	}
 	res := MustRun(Config{
-		Scheduler: sched.NewFCFS(), FixedService: 100_000, DropLate: true,
-		Dims: 1, Levels: 4,
+		Scheduler: sched.NewFCFS(), FixedService: 100_000,
+		Options: Options{DropLate: true, Dims: 1, Levels: 4},
 	}, trace)
 	if res.Dropped != 1 || res.Served != 2 {
 		t.Fatalf("dropped/served = %d/%d, want 1/2", res.Dropped, res.Served)
@@ -42,8 +42,8 @@ func TestServedDispatchStillCountsInversions(t *testing.T) {
 		{ID: 2, Arrival: 2, Priorities: []int{0}},
 	}
 	res := MustRun(Config{
-		Scheduler: sched.NewFCFS(), FixedService: 100_000, DropLate: true,
-		Dims: 1, Levels: 4,
+		Scheduler: sched.NewFCFS(), FixedService: 100_000,
+		Options: Options{DropLate: true, Dims: 1, Levels: 4},
 	}, trace)
 	if res.Served != 3 {
 		t.Fatalf("served = %d, want 3", res.Served)

@@ -1,15 +1,17 @@
-// Package sim is the event-driven single-disk simulator driving every
-// experiment: it feeds a pre-generated trace to a scheduler, models service
+// Package sim is the event-driven simulator driving every experiment: it
+// feeds a pre-generated trace to one or more schedulers, models service
 // times with the disk model, and reports the metrics of the paper's §5-6.
 //
-// Service is non-interruptible (a dispatched request occupies the disk
-// until completion), so the engine is a simple sequential loop rather than
-// a general event heap: arrivals that occur during a service are delivered
-// with their true arrival timestamps before the next dispatch decision.
+// Both public entry points run on the same deterministic event-heap
+// Engine: Run drives a single Station (one disk, one scheduler) and
+// RunArray drives one Station per disk of a RAID-5 array with the
+// logical/physical mapping layered on top. Events are ordered by
+// (time, seq), so identical configurations replay identically.
 package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"sfcsched/internal/core"
 	"sfcsched/internal/disk"
@@ -18,12 +20,9 @@ import (
 	"sfcsched/internal/stats"
 )
 
-// Config configures one simulation run.
-type Config struct {
-	// Disk models service times. Required unless FixedService is set.
-	Disk *disk.Model
-	// Scheduler is the queue discipline under test. Required.
-	Scheduler sched.Scheduler
+// Options is the configuration core shared by Config and ArrayConfig: the
+// knobs that mean the same thing on every topology.
+type Options struct {
 	// Seed drives the rotational-latency sampling.
 	Seed uint64
 	// DropLate drops requests whose deadline has passed at dispatch time
@@ -31,14 +30,8 @@ type Config struct {
 	// lost). When false, expired requests are still serviced and counted
 	// late.
 	DropLate bool
-	// TransferOnly charges only media transfer time (the §5.1-5.2
-	// assumption that "the transfer time dominates the seek time").
-	TransferOnly bool
-	// FixedService, when positive, overrides the disk model with a
-	// constant service time (useful for pure queueing experiments).
-	FixedService int64
-	// Dims and Levels size the metrics collector. Dims defaults to the
-	// widest priority vector in the trace.
+	// Dims and Levels size the metrics collectors. For single-disk runs,
+	// Dims defaults to the widest priority vector in the trace.
 	Dims   int
 	Levels int
 	// SampleRotation draws rotational latency uniformly instead of using
@@ -46,9 +39,26 @@ type Config struct {
 	SampleRotation bool
 	// Trace, when non-nil, receives one TraceEvent per dispatch decision
 	// (served or dropped) — the debugging stream behind policy-bug hunts.
+	// On array runs every physical dispatch is reported with its DiskID.
 	// JSONLTrace adapts an io.Writer into a hook. The hook runs inline with
 	// the simulation; a slow sink slows the run, not the modeled clock.
 	Trace func(TraceEvent)
+}
+
+// Config configures one single-disk simulation run.
+type Config struct {
+	// Disk models service times. Required unless FixedService is set.
+	Disk *disk.Model
+	// Scheduler is the queue discipline under test. Required.
+	Scheduler sched.Scheduler
+	// TransferOnly charges only media transfer time (the §5.1-5.2
+	// assumption that "the transfer time dominates the seek time").
+	TransferOnly bool
+	// FixedService, when positive, overrides the disk model with a
+	// constant service time (useful for pure queueing experiments).
+	FixedService int64
+
+	Options
 }
 
 // Result is the outcome of a run.
@@ -60,7 +70,8 @@ type Result struct {
 	Scheduler string
 }
 
-// Run simulates trace (sorted by arrival time) under cfg.
+// Run simulates trace (sorted by arrival time) under cfg as a one-station
+// Engine.
 func Run(cfg Config, trace []*core.Request) (*Result, error) {
 	if cfg.Scheduler == nil {
 		return nil, fmt.Errorf("sim: Scheduler is required")
@@ -68,7 +79,45 @@ func Run(cfg Config, trace []*core.Request) (*Result, error) {
 	if cfg.Disk == nil && cfg.FixedService <= 0 {
 		return nil, fmt.Errorf("sim: need a Disk model or FixedService")
 	}
-	dims, levels := cfg.Dims, cfg.Levels
+	dims, levels := inferShape(cfg.Dims, cfg.Levels, trace)
+	col := metrics.NewCollector(dims, levels)
+	st := &Station{
+		Sched:          cfg.Scheduler,
+		Disk:           cfg.Disk,
+		Col:            col,
+		TransferOnly:   cfg.TransferOnly,
+		FixedService:   cfg.FixedService,
+		SampleRotation: cfg.SampleRotation,
+		HeadAtDispatch: true,
+		IdleProbe:      true,
+	}
+	eng := &Engine{
+		Stations: []*Station{st},
+		DropLate: cfg.DropLate,
+		RNG:      stats.NewRNG(cfg.Seed),
+		Trace:    cfg.Trace,
+	}
+	col.Makespan = eng.Run(trace, func(r *core.Request, _ int64) {
+		col.OnArrival(r)
+		// Arrivals carry their true timestamps even when they land during
+		// a service window; the head is en route to (then at) the target.
+		st.Enqueue(r, r.Arrival)
+	})
+	return &Result{Collector: col, HeadTravel: st.HeadTravel(), Scheduler: cfg.Scheduler.Name()}, nil
+}
+
+// MustRun is Run for static configurations.
+func MustRun(cfg Config, trace []*core.Request) *Result {
+	res, err := Run(cfg, trace)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// inferShape fills zero Dims/Levels from the widest priority vector and
+// the highest level present in the trace.
+func inferShape(dims, levels int, trace []*core.Request) (int, int) {
 	if dims == 0 {
 		for _, r := range trace {
 			if len(r.Priorities) > dims {
@@ -86,103 +135,15 @@ func Run(cfg Config, trace []*core.Request) (*Result, error) {
 			}
 		}
 	}
-	col := metrics.NewCollector(dims, levels)
-	res := &Result{Collector: col, Scheduler: cfg.Scheduler.Name()}
-	rng := stats.NewRNG(cfg.Seed)
-
-	s := cfg.Scheduler
-	now := int64(0)
-	head := 0
-	i := 0 // next arrival index
-
-	deliver := func(until int64, head int) {
-		for i < len(trace) && trace[i].Arrival <= until {
-			r := trace[i]
-			col.OnArrival(r)
-			s.Add(r, r.Arrival, head)
-			i++
-		}
-	}
-
-	for {
-		deliver(now, head)
-		r := s.Next(now, head)
-		if r == nil {
-			if i >= len(trace) {
-				break
-			}
-			now = trace[i].Arrival
-			continue
-		}
-		if cfg.DropLate && r.Deadline > 0 && now > r.Deadline {
-			// Dropped requests never occupy the disk, so serving others
-			// "ahead" of them costs nothing: they must not contribute to
-			// the §5.1 inversion counts. OnDispatch therefore runs only
-			// after the expiry check.
-			col.OnDropped(r)
-			if cfg.Trace != nil {
-				cfg.Trace(TraceEvent{Now: now, Request: r, Dropped: true, QueueLen: s.Len()})
-			}
-			continue
-		}
-		col.OnDispatch(r, s.Each)
-		seek, svc := cfg.serviceTime(head, r, rng)
-		start := now
-		if cfg.Disk != nil {
-			res.HeadTravel += int64(absInt(r.Cylinder - head))
-		}
-		if cfg.Trace != nil {
-			cfg.Trace(TraceEvent{Now: now, Request: r, Head: head, Seek: seek, Service: svc, QueueLen: s.Len()})
-		}
-		// Arrivals during the service window are delivered with their true
-		// timestamps; the head is en route to (then at) the target.
-		deliver(start+svc, r.Cylinder)
-		now = start + svc
-		head = targetCylinder(cfg, r)
-		col.OnServed(r, seek, svc, start)
-		// A deadline is met when service starts in time (the convention of
-		// SCAN-EDF and §6's "serviced prior to the deadline"). Without
-		// DropLate, expired requests are still serviced but counted late.
-		if r.Deadline > 0 && start > r.Deadline {
-			col.OnLate(r)
-		}
-	}
-	col.Makespan = now
-	return res, nil
+	return dims, levels
 }
 
-// MustRun is Run for static configurations.
-func MustRun(cfg Config, trace []*core.Request) *Result {
-	res, err := Run(cfg, trace)
-	if err != nil {
-		panic(err)
-	}
-	return res
-}
-
-// serviceTime returns (seekTime, totalServiceTime) for serving r from head.
-func (cfg Config) serviceTime(head int, r *core.Request, rng *stats.RNG) (int64, int64) {
-	if cfg.FixedService > 0 {
-		return 0, cfg.FixedService
-	}
-	cyl := clampCyl(r.Cylinder, cfg.Disk.Cylinders)
-	if cfg.TransferOnly {
-		return 0, cfg.Disk.TransferTime(cyl, r.Size)
-	}
-	seek := cfg.Disk.SeekTime(clampCyl(head, cfg.Disk.Cylinders), cyl)
-	rot := cfg.Disk.AvgRotationalLatency()
-	if cfg.SampleRotation {
-		rot = cfg.Disk.RotationalLatency(rng)
-	}
-	return seek, seek + rot + cfg.Disk.TransferTime(cyl, r.Size)
-}
-
-// targetCylinder returns where the head rests after serving r.
-func targetCylinder(cfg Config, r *core.Request) int {
-	if cfg.Disk == nil {
-		return r.Cylinder
-	}
-	return clampCyl(r.Cylinder, cfg.Disk.Cylinders)
+// SortByArrival orders a trace in place by arrival time (stable), the
+// precondition of Run and RunArray.
+func SortByArrival(trace []*core.Request) {
+	sort.SliceStable(trace, func(i, j int) bool {
+		return trace[i].Arrival < trace[j].Arrival
+	})
 }
 
 func clampCyl(c, n int) int {

@@ -35,8 +35,8 @@ func TestRunServesEverythingFCFS(t *testing.T) {
 
 func TestRunDeterministic(t *testing.T) {
 	trace := smallTrace()
-	a := MustRun(Config{Disk: xp(), Scheduler: sched.NewSSTF(), Seed: 3}, trace)
-	b := MustRun(Config{Disk: xp(), Scheduler: sched.NewSSTF(), Seed: 3}, smallTrace())
+	a := MustRun(Config{Disk: xp(), Scheduler: sched.NewSSTF(), Options: Options{Seed: 3}}, trace)
+	b := MustRun(Config{Disk: xp(), Scheduler: sched.NewSSTF(), Options: Options{Seed: 3}}, smallTrace())
 	if a.Makespan != b.Makespan || a.SeekTime != b.SeekTime || a.TotalInversions() != b.TotalInversions() {
 		t.Error("identical runs diverged")
 	}
@@ -44,7 +44,7 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestFCFSHasNoDropUnlessConfigured(t *testing.T) {
 	trace := smallTrace()
-	res := MustRun(Config{Disk: xp(), Scheduler: sched.NewFCFS(), DropLate: true}, trace)
+	res := MustRun(Config{Disk: xp(), Scheduler: sched.NewFCFS(), Options: Options{DropLate: true}}, trace)
 	if res.Served+res.Dropped != uint64(len(trace)) {
 		t.Errorf("served %d + dropped %d != %d", res.Served, res.Dropped, len(trace))
 	}
@@ -70,8 +70,8 @@ func TestEDFBeatsFCFSOnMisses(t *testing.T) {
 		Dims: 1, Levels: 8, DeadlineMin: 30_000, DeadlineMax: 300_000,
 		Cylinders: 3832, Size: 64 << 10,
 	}.MustGenerate()
-	fcfs := MustRun(Config{Disk: xp(), Scheduler: sched.NewFCFS(), DropLate: true}, trace)
-	edf := MustRun(Config{Disk: xp(), Scheduler: sched.NewEDF(), DropLate: true}, trace)
+	fcfs := MustRun(Config{Disk: xp(), Scheduler: sched.NewFCFS(), Options: Options{DropLate: true}}, trace)
+	edf := MustRun(Config{Disk: xp(), Scheduler: sched.NewEDF(), Options: Options{DropLate: true}}, trace)
 	if fcfs.TotalMisses() == 0 {
 		t.Fatal("workload not overloaded enough to test misses")
 	}
@@ -87,7 +87,7 @@ func TestDropLateSemantics(t *testing.T) {
 		{ID: 1, Arrival: 0, Deadline: 60_000, Cylinder: 100, Size: 64 << 10},
 		{ID: 2, Arrival: 0, Deadline: 5_000, Cylinder: 3000, Size: 64 << 10},
 	}
-	res := MustRun(Config{Disk: xp(), Scheduler: sched.NewFCFS(), DropLate: true}, trace)
+	res := MustRun(Config{Disk: xp(), Scheduler: sched.NewFCFS(), Options: Options{DropLate: true}}, trace)
 	if res.Served != 1 || res.Dropped != 1 {
 		t.Errorf("served=%d dropped=%d, want 1/1", res.Served, res.Dropped)
 	}
@@ -142,7 +142,7 @@ func TestInversionSampling(t *testing.T) {
 		{ID: 2, Arrival: 0, Priorities: []int{1}},
 		{ID: 3, Arrival: 0, Priorities: []int{7}},
 	}
-	res := MustRun(Config{Scheduler: sched.NewFCFS(), FixedService: 1000, Dims: 1, Levels: 8}, trace)
+	res := MustRun(Config{Scheduler: sched.NewFCFS(), FixedService: 1000, Options: Options{Dims: 1, Levels: 8}}, trace)
 	// Dispatch 1: pending {2,3}: 2 is higher -> 1 inversion.
 	// Dispatch 2: pending {3}: lower -> 0. Dispatch 3: none.
 	if res.TotalInversions() != 1 {
@@ -165,7 +165,7 @@ func TestCascadedSchedulerRunsInSim(t *testing.T) {
 		core.EncapsulatorConfig{Levels: 8, UseDeadline: true, F: 1, DeadlineHorizon: 400_000},
 		core.DispatcherConfig{Mode: core.ConditionallyPreemptive, SP: true},
 		0.05)
-	res := MustRun(Config{Disk: xp(), Scheduler: cs, DropLate: true}, trace)
+	res := MustRun(Config{Disk: xp(), Scheduler: cs, Options: Options{DropLate: true}}, trace)
 	if res.Served+res.Dropped != uint64(len(trace)) {
 		t.Errorf("cascaded run lost requests: %d + %d != %d", res.Served, res.Dropped, len(trace))
 	}

@@ -9,11 +9,15 @@ import (
 
 // TraceEvent describes one dispatch decision of a run: either a service
 // (Seek/Service filled) or a drop (Dropped set). It is handed to
-// Config.Trace synchronously, before the modeled service completes, so a
+// Options.Trace synchronously, before the modeled service completes, so a
 // hook sees decisions in dispatch order.
 type TraceEvent struct {
 	// Now is the simulation clock at the decision, microseconds.
 	Now int64
+	// DiskID is the station the decision happened on: always 0 for
+	// single-disk runs, the disk index for array runs (where Request is
+	// the physical operation, not the logical block request).
+	DiskID int
 	// Request is the dispatched request. Hooks must not retain or mutate
 	// it; copy what they need.
 	Request *core.Request
@@ -33,6 +37,7 @@ type TraceEvent struct {
 // traceRecord is the flattened JSONL form of a TraceEvent.
 type traceRecord struct {
 	Now      int64  `json:"now"`
+	Disk     int    `json:"disk,omitempty"`
 	ID       uint64 `json:"id"`
 	Cylinder int    `json:"cyl"`
 	Arrival  int64  `json:"arrival"`
@@ -46,7 +51,7 @@ type traceRecord struct {
 	Queue    int    `json:"queue"`
 }
 
-// JSONLTrace adapts w into a Config.Trace hook that writes one JSON object
+// JSONLTrace adapts w into an Options.Trace hook that writes one JSON object
 // per line per dispatch decision. The first write error silences the hook
 // for the rest of the run (the simulation result is unaffected); wrap w in
 // a bufio.Writer for long traces and flush it after Run returns.
@@ -60,6 +65,7 @@ func JSONLTrace(w io.Writer) func(TraceEvent) {
 		r := ev.Request
 		rec := traceRecord{
 			Now:      ev.Now,
+			Disk:     ev.DiskID,
 			ID:       r.ID,
 			Cylinder: r.Cylinder,
 			Arrival:  r.Arrival,

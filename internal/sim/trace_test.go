@@ -17,8 +17,8 @@ func TestJSONLTraceStream(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	res := MustRun(Config{
-		Scheduler: sched.NewFCFS(), FixedService: 100_000, DropLate: true,
-		Dims: 1, Levels: 4, Trace: JSONLTrace(&buf),
+		Scheduler: sched.NewFCFS(), FixedService: 100_000,
+		Options: Options{DropLate: true, Dims: 1, Levels: 4, Trace: JSONLTrace(&buf)},
 	}, trace)
 
 	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
@@ -70,7 +70,7 @@ func TestJSONLTraceWriterFailureIsIsolated(t *testing.T) {
 	plain := MustRun(Config{Disk: xp(), Scheduler: sched.NewFCFS()}, trace)
 	traced := MustRun(Config{
 		Disk: xp(), Scheduler: sched.NewFCFS(),
-		Trace: JSONLTrace(&failAfter{n: 3}),
+		Options: Options{Trace: JSONLTrace(&failAfter{n: 3})},
 	}, smallTrace())
 	if plain.Makespan != traced.Makespan || plain.Served != traced.Served {
 		t.Error("trace hook changed simulation outcome")
