@@ -1,8 +1,12 @@
 # Developer entry points; CI runs the same targets.
 
-.PHONY: all vet build test race bench bench-smoke micro
+.PHONY: all vet build test race cover bench bench-smoke micro
 
 all: vet build test
+
+# Statement-coverage floor over ./internal/..., measured before PR 5
+# landed. Raise it when coverage rises; never lower it to merge.
+COVER_FLOOR := 91.4
 
 vet:
 	go vet ./...
@@ -17,6 +21,15 @@ test:
 # (ShardedScheduler, obs counters) and the golden differential suite.
 race:
 	go test -race ./internal/...
+
+# Mirrors the CI coverage job: fail when total statement coverage over the
+# internal packages drops below the floor.
+cover:
+	go test -coverprofile=cover.out ./internal/...
+	@total=$$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { \
+		if (t + 0 < f + 0) { printf "coverage %.1f%% is below the %.1f%% floor\n", t, f; exit 1 } \
+		printf "coverage %.1f%% (floor %.1f%%)\n", t, f }'
 
 # Full benchmark suite with allocation columns.
 bench:

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"sfcsched/internal/core"
+	"sfcsched/internal/fault"
 	"sfcsched/internal/obs"
 )
 
@@ -23,6 +24,7 @@ var publishOnce sync.Once
 func newObsMux() *http.ServeMux {
 	reg := obs.NewRegistry()
 	core.DefaultMetrics.MustRegister(reg, "sfcsched")
+	fault.DefaultMetrics.MustRegister(reg, "sfcsched_fault")
 	publishOnce.Do(func() { reg.PublishExpvar("sfcsched") })
 
 	mux := http.NewServeMux()

@@ -145,6 +145,18 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 		render(a)
 		render(b)
 		render(c)
+	case "faultsweep":
+		cfg := experiments.DefaultFaultSweepConfig()
+		cfg.Seed = seed
+		if requests > 0 {
+			cfg.Requests = requests
+		}
+		a, b, err := experiments.FaultSweep(cfg)
+		if err != nil {
+			return err
+		}
+		render(a)
+		render(b)
 	case "fig11", "fig11raid":
 		cfg := experiments.DefaultFig11Config()
 		cfg.Seed = seed

@@ -9,6 +9,8 @@
 //	schedsim -sched all                 # every scheduler over the same trace
 //	schedsim -trace open.csv -sched all # replay a tracegen CSV file
 //	schedsim -sched cascaded -dispatch-trace run.jsonl  # JSONL dispatch log
+//	schedsim -sched all -fault-rate 0.01                # transient faults
+//	schedsim -array 5 -fail-disk 2 -rebuild             # degraded RAID-5
 package main
 
 import (
@@ -17,10 +19,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"time"
 
 	"sfcsched/internal/core"
 	"sfcsched/internal/disk"
+	"sfcsched/internal/fault"
+	"sfcsched/internal/metrics"
 	"sfcsched/internal/sched"
 	"sfcsched/internal/sfc"
 	"sfcsched/internal/sim"
@@ -28,29 +31,12 @@ import (
 )
 
 func main() {
-	var (
-		schedName    = flag.String("sched", "cascaded", "scheduler: cascaded, fcfs, sstf, scan, cscan, edf, scan-edf, fd-scan, scan-rt, ssedo, ssedv, multi-queue, bucket, kamel, or all")
-		curve        = flag.String("curve", "hilbert", "cascaded: SFC1 curve")
-		f            = flag.Float64("f", 1, "cascaded: SFC2 balance factor")
-		r            = flag.Int("r", 3, "cascaded: SFC3 partitions (0 disables the seek stage)")
-		window       = flag.Float64("window", 0.02, "cascaded: blocking window as a fraction of the value space")
-		seed         = flag.Uint64("seed", 1, "workload seed")
-		requests     = flag.Int("requests", 5000, "request count")
-		interarrival = flag.Duration("interarrival", 13*time.Millisecond, "mean interarrival time")
-		dims         = flag.Int("dims", 3, "priority dimensions")
-		levels       = flag.Int("levels", 8, "priority levels per dimension")
-		deadlineMin  = flag.Duration("deadline-min", 500*time.Millisecond, "minimum relative deadline (0 disables deadlines)")
-		deadlineMax  = flag.Duration("deadline-max", 700*time.Millisecond, "maximum relative deadline")
-		sizeMin      = flag.Int64("size-min", 4<<10, "transfer size of the highest priority, bytes")
-		sizeMax      = flag.Int64("size-max", 256<<10, "transfer size of the lowest priority, bytes")
-		drop         = flag.Bool("drop", true, "drop requests whose deadline passed before service")
-		traceFile    = flag.String("trace", "", "replay a tracegen CSV file instead of generating a workload")
-		dispatchOut  = flag.String("dispatch-trace", "", "write a JSONL stream of dispatch decisions to this file (- for stdout)")
-		arrayDisks   = flag.Int("array", 0, "simulate a RAID-5 array with this many disks (0 = single disk)")
-		blockSize    = flag.Int64("block", 64<<10, "array: logical block size, bytes")
-		writeFrac    = flag.Float64("write-frac", 0, "array: fraction of logical writes (read-modify-write)")
-	)
+	var opt options
+	opt.register(flag.CommandLine)
 	flag.Parse()
+	if err := opt.validate(); err != nil {
+		fatal(err)
+	}
 
 	m, err := disk.NewModel(disk.QuantumXP32150Params())
 	if err != nil {
@@ -58,8 +44,8 @@ func main() {
 	}
 	var array *disk.RAID5
 	cylinders := m.Cylinders
-	if *arrayDisks > 0 {
-		array, err = disk.NewRAID5(*arrayDisks, *blockSize, m)
+	if opt.arrayDisks > 0 {
+		array, err = disk.NewRAID5(opt.arrayDisks, opt.blockSize, m)
 		if err != nil {
 			fatal(err)
 		}
@@ -67,8 +53,8 @@ func main() {
 		cylinders = int(array.MaxBlocks())
 	}
 	var trace []*core.Request
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+	if opt.traceFile != "" {
+		f, err := os.Open(opt.traceFile)
 		if err != nil {
 			fatal(err)
 		}
@@ -78,41 +64,41 @@ func main() {
 			fatal(err)
 		}
 		sim.SortByArrival(trace)
-		*dims = 0
+		opt.dims = 0
 		for _, r := range trace {
-			if len(r.Priorities) > *dims {
-				*dims = len(r.Priorities)
+			if len(r.Priorities) > opt.dims {
+				opt.dims = len(r.Priorities)
 			}
 		}
 	} else {
 		trace, err = workload.Open{
-			Seed:             *seed,
-			Count:            *requests,
-			MeanInterarrival: interarrival.Microseconds(),
-			Dims:             *dims,
-			Levels:           *levels,
-			DeadlineMin:      deadlineMin.Microseconds(),
-			DeadlineMax:      deadlineMax.Microseconds(),
+			Seed:             opt.seed,
+			Count:            opt.requests,
+			MeanInterarrival: opt.interarrival.Microseconds(),
+			Dims:             opt.dims,
+			Levels:           opt.levels,
+			DeadlineMin:      opt.deadlineMin.Microseconds(),
+			DeadlineMax:      opt.deadlineMax.Microseconds(),
 			Cylinders:        cylinders,
-			SizeMin:          *sizeMin,
-			SizeMax:          *sizeMax,
-			WriteFrac:        *writeFrac,
+			SizeMin:          opt.sizeMin,
+			SizeMax:          opt.sizeMax,
+			WriteFrac:        opt.writeFrac,
 		}.Generate()
 		if err != nil {
 			fatal(err)
 		}
 	}
 
-	names := []string{*schedName}
-	if *schedName == "all" {
+	names := []string{opt.sched}
+	if opt.sched == "all" {
 		names = []string{"cascaded", "fcfs", "sstf", "scan", "cscan", "edf", "scan-edf",
 			"fd-scan", "scan-rt", "ssedo", "ssedv", "multi-queue", "bucket", "kamel"}
 	}
 	var traceHook func(sim.TraceEvent)
-	if *dispatchOut != "" {
+	if opt.dispatchOut != "" {
 		w := io.Writer(os.Stdout)
-		if *dispatchOut != "-" {
-			f, err := os.Create(*dispatchOut)
+		if opt.dispatchOut != "-" {
+			f, err := os.Create(opt.dispatchOut)
 			if err != nil {
 				fatal(err)
 			}
@@ -123,19 +109,25 @@ func main() {
 		}
 		traceHook = sim.JSONLTrace(w)
 	}
+	plan := opt.faultPlan()
 	opts := sim.Options{
-		DropLate: *drop,
-		Dims:     *dims, Levels: *levels, Seed: *seed,
+		DropLate: opt.drop,
+		Dims:     opt.dims, Levels: opt.levels, Seed: opt.seed,
 		Trace: traceHook,
+		Fault: plan,
 	}
-	fmt.Printf("%-12s %8s %8s %8s %10s %10s %12s\n",
+	fmt.Printf("%-12s %8s %8s %8s %10s %10s %12s",
 		"scheduler", "served", "dropped", "late", "seek(s)", "busy(s)", "inversions")
+	if plan != nil {
+		fmt.Printf(" %8s %8s", "faults", "fdrop")
+	}
+	fmt.Println()
 	for _, name := range names {
 		if array != nil {
 			ar, err := sim.RunArray(sim.ArrayConfig{
 				Array: array,
 				NewScheduler: func(int) (sched.Scheduler, error) {
-					return build(name, m, *curve, *f, *r, *window, *levels, *dims, deadlineMax.Microseconds())
+					return build(name, m, opt.curve, opt.f, opt.r, opt.window, opt.levels, opt.dims, opt.deadlineMax.Microseconds())
 				},
 				Options: opts,
 			}, trace)
@@ -146,12 +138,14 @@ func main() {
 			for _, c := range ar.PerDisk {
 				inv += c.TotalInversions()
 			}
-			fmt.Printf("%-12s %8d %8d %8d %10.2f %10.2f %12d\n",
+			fmt.Printf("%-12s %8d %8d %8d %10.2f %10.2f %12d",
 				name, ar.Logical.Served, ar.Logical.Dropped, ar.Logical.Late,
 				float64(ar.SeekTime)/1e6, float64(ar.BusyTime)/1e6, inv)
+			printFaultCols(plan, ar.Faults, ar.PerDisk)
+			fmt.Println()
 			continue
 		}
-		s, err := build(name, m, *curve, *f, *r, *window, *levels, *dims, deadlineMax.Microseconds())
+		s, err := build(name, m, opt.curve, opt.f, opt.r, opt.window, opt.levels, opt.dims, opt.deadlineMax.Microseconds())
 		if err != nil {
 			fatal(err)
 		}
@@ -159,10 +153,29 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%-12s %8d %8d %8d %10.2f %10.2f %12d\n",
+		fmt.Printf("%-12s %8d %8d %8d %10.2f %10.2f %12d",
 			name, res.Served, res.Dropped, res.Late,
 			float64(res.SeekTime)/1e6, float64(res.ServiceTime)/1e6, res.TotalInversions())
+		printFaultCols(plan, res.Faults, []*metrics.Collector{res.Collector})
+		fmt.Println()
 	}
+}
+
+// printFaultCols appends the fault columns of one result row: total fault
+// hits (transient + bad-sector + lost in flight) and fault-attributed
+// drops summed over the physical collectors.
+func printFaultCols(plan *fault.Plan, fs *fault.Stats, cols []*metrics.Collector) {
+	if plan == nil {
+		return
+	}
+	var hits, fdrop uint64
+	if fs != nil {
+		hits = fs.Transients + fs.BadSectorHits + fs.LostInFlight
+	}
+	for _, c := range cols {
+		fdrop += c.FaultDropped
+	}
+	fmt.Printf(" %8d %8d", hits, fdrop)
 }
 
 // build constructs the named scheduler.

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"sfcsched/internal/fault"
+)
+
+// options collects every schedsim flag so the flag surface can be
+// validated (and unit-tested) before any simulation work starts.
+type options struct {
+	sched        string
+	curve        string
+	f            float64
+	r            int
+	window       float64
+	seed         uint64
+	requests     int
+	interarrival time.Duration
+	dims         int
+	levels       int
+	deadlineMin  time.Duration
+	deadlineMax  time.Duration
+	sizeMin      int64
+	sizeMax      int64
+	drop         bool
+	traceFile    string
+	dispatchOut  string
+	arrayDisks   int
+	blockSize    int64
+	writeFrac    float64
+
+	// Fault injection (PR 5): transient errors on any topology, whole-disk
+	// failure and rebuild on arrays only.
+	faultRate       float64
+	faultSeed       uint64
+	retries         int
+	retryBase       time.Duration
+	failDisk        int
+	failAt          time.Duration
+	rebuild         bool
+	rebuildBlocks   int
+	rebuildInterval time.Duration
+}
+
+// register binds every option to fs with its default.
+func (o *options) register(fs *flag.FlagSet) {
+	fs.StringVar(&o.sched, "sched", "cascaded", "scheduler: cascaded, fcfs, sstf, scan, cscan, edf, scan-edf, fd-scan, scan-rt, ssedo, ssedv, multi-queue, bucket, kamel, or all")
+	fs.StringVar(&o.curve, "curve", "hilbert", "cascaded: SFC1 curve")
+	fs.Float64Var(&o.f, "f", 1, "cascaded: SFC2 balance factor")
+	fs.IntVar(&o.r, "r", 3, "cascaded: SFC3 partitions (0 disables the seek stage)")
+	fs.Float64Var(&o.window, "window", 0.02, "cascaded: blocking window as a fraction of the value space")
+	fs.Uint64Var(&o.seed, "seed", 1, "workload seed")
+	fs.IntVar(&o.requests, "requests", 5000, "request count")
+	fs.DurationVar(&o.interarrival, "interarrival", 13*time.Millisecond, "mean interarrival time")
+	fs.IntVar(&o.dims, "dims", 3, "priority dimensions")
+	fs.IntVar(&o.levels, "levels", 8, "priority levels per dimension")
+	fs.DurationVar(&o.deadlineMin, "deadline-min", 500*time.Millisecond, "minimum relative deadline (0 disables deadlines)")
+	fs.DurationVar(&o.deadlineMax, "deadline-max", 700*time.Millisecond, "maximum relative deadline")
+	fs.Int64Var(&o.sizeMin, "size-min", 4<<10, "transfer size of the highest priority, bytes")
+	fs.Int64Var(&o.sizeMax, "size-max", 256<<10, "transfer size of the lowest priority, bytes")
+	fs.BoolVar(&o.drop, "drop", true, "drop requests whose deadline passed before service")
+	fs.StringVar(&o.traceFile, "trace", "", "replay a tracegen CSV file instead of generating a workload")
+	fs.StringVar(&o.dispatchOut, "dispatch-trace", "", "write a JSONL stream of dispatch decisions to this file (- for stdout)")
+	fs.IntVar(&o.arrayDisks, "array", 0, "simulate a RAID-5 array with this many disks (0 = single disk)")
+	fs.Int64Var(&o.blockSize, "block", 64<<10, "array: logical block size, bytes")
+	fs.Float64Var(&o.writeFrac, "write-frac", 0, "array: fraction of logical writes (read-modify-write)")
+
+	fs.Float64Var(&o.faultRate, "fault-rate", 0, "probability a completed dispatch hits a transient fault")
+	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "fault injector seed (independent of the workload seed)")
+	fs.IntVar(&o.retries, "retries", 3, "bounded retries per faulted request (0 drops on the first fault)")
+	fs.DurationVar(&o.retryBase, "retry-base", 5*time.Millisecond, "first retry backoff; doubles per attempt")
+	fs.IntVar(&o.failDisk, "fail-disk", -1, "array: fail this disk mid-run (-1 disables)")
+	fs.DurationVar(&o.failAt, "fail-at", 2*time.Second, "array: simulated time of the disk failure")
+	fs.BoolVar(&o.rebuild, "rebuild", false, "array: rebuild the failed disk through the foreground schedulers")
+	fs.IntVar(&o.rebuildBlocks, "rebuild-blocks", 256, "array: per-disk blocks the rebuild reconstructs")
+	fs.DurationVar(&o.rebuildInterval, "rebuild-interval", 5*time.Millisecond, "array: pacing gap between rebuild stripe reads")
+}
+
+// validate rejects inconsistent flag combinations with a specific error
+// before any model or trace work begins.
+func (o *options) validate() error {
+	if o.traceFile == "" {
+		if o.requests <= 0 {
+			return fmt.Errorf("-requests must be positive, got %d", o.requests)
+		}
+		if o.interarrival <= 0 {
+			return fmt.Errorf("-interarrival must be positive, got %v", o.interarrival)
+		}
+		if o.dims < 1 || o.levels < 1 {
+			return fmt.Errorf("-dims and -levels must be at least 1, got %d and %d", o.dims, o.levels)
+		}
+		if o.deadlineMin < 0 {
+			return fmt.Errorf("-deadline-min must not be negative, got %v", o.deadlineMin)
+		}
+		if o.deadlineMin > 0 && o.deadlineMax < o.deadlineMin {
+			return fmt.Errorf("-deadline-max (%v) must not be below -deadline-min (%v)", o.deadlineMax, o.deadlineMin)
+		}
+		if o.sizeMin < 1 || o.sizeMax < o.sizeMin {
+			return fmt.Errorf("transfer sizes must satisfy 1 <= -size-min <= -size-max, got %d and %d", o.sizeMin, o.sizeMax)
+		}
+	}
+	if o.writeFrac < 0 || o.writeFrac > 1 {
+		return fmt.Errorf("-write-frac must be in [0,1], got %v", o.writeFrac)
+	}
+	if o.arrayDisks < 0 {
+		return fmt.Errorf("-array must not be negative, got %d", o.arrayDisks)
+	}
+	if o.arrayDisks > 0 && o.arrayDisks < 3 {
+		return fmt.Errorf("-array needs at least 3 disks for RAID-5, got %d", o.arrayDisks)
+	}
+	if o.arrayDisks > 0 && o.blockSize < 1 {
+		return fmt.Errorf("-block must be positive, got %d", o.blockSize)
+	}
+	if o.faultRate < 0 || o.faultRate > 1 {
+		return fmt.Errorf("-fault-rate must be in [0,1], got %v", o.faultRate)
+	}
+	if o.retries < 0 {
+		return fmt.Errorf("-retries must not be negative, got %d", o.retries)
+	}
+	if o.retryBase < 0 {
+		return fmt.Errorf("-retry-base must not be negative, got %v", o.retryBase)
+	}
+	if o.failDisk >= 0 {
+		if o.arrayDisks == 0 {
+			return fmt.Errorf("-fail-disk requires -array: whole-disk failure needs RAID-5 redundancy")
+		}
+		if o.failDisk >= o.arrayDisks {
+			return fmt.Errorf("-fail-disk %d out of range for a %d-disk array", o.failDisk, o.arrayDisks)
+		}
+		if o.failAt <= 0 {
+			return fmt.Errorf("-fail-at must be positive, got %v", o.failAt)
+		}
+	}
+	if o.rebuild {
+		if o.failDisk < 0 {
+			return fmt.Errorf("-rebuild requires -fail-disk: there is nothing to rebuild")
+		}
+		if o.rebuildBlocks <= 0 {
+			return fmt.Errorf("-rebuild-blocks must be positive, got %d", o.rebuildBlocks)
+		}
+		if o.rebuildInterval < 0 {
+			return fmt.Errorf("-rebuild-interval must not be negative, got %v", o.rebuildInterval)
+		}
+	}
+	return nil
+}
+
+// faultPlan translates the fault flags into a plan, or nil when no fault
+// source is armed (keeping fault-free runs on the zero-plan fast path).
+func (o *options) faultPlan() *fault.Plan {
+	if o.faultRate == 0 && o.failDisk < 0 {
+		return nil
+	}
+	plan := &fault.Plan{
+		Seed:          o.faultSeed,
+		TransientRate: o.faultRate,
+		MaxRetries:    o.retries,
+		RetryBase:     o.retryBase.Microseconds(),
+	}
+	if o.retries == 0 {
+		plan.MaxRetries = -1 // flag 0 means "no retries", plan 0 means default
+	}
+	if o.failDisk >= 0 {
+		plan.FailDisk = o.failDisk
+		plan.FailAt = o.failAt.Microseconds()
+		if o.rebuild {
+			plan.Rebuild = true
+			plan.RebuildBlocks = o.rebuildBlocks
+			plan.RebuildInterval = o.rebuildInterval.Microseconds()
+		}
+	}
+	return plan
+}

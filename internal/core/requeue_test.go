@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"sfcsched/internal/stats"
+)
+
+// The fault injector re-enqueues a request after a transient error: the
+// dispatcher sees the same request Added again after it was dispatched.
+// These property tests re-prove the PR-4 window equivalences under that
+// re-queue traffic: with Serve-and-Promote active, a conditional window
+// of w = 0 dispatches exactly like the fully-preemptive mode, and a
+// window too large for any value to clear dispatches exactly like the
+// non-preemptive mode — on the same arrival/re-queue sequence.
+//
+// Values are drawn distinct (low bits carry the request ID) so the pairs
+// cannot diverge on (v, seq) tie-breaks that the equivalence does not
+// promise: promotion uses a strict v comparison, so two requests with
+// equal v may legitimately dispatch in different orders across modes.
+
+// lockstepOp is one scripted dispatcher operation.
+type lockstepOp struct {
+	kind int // 0 = Add, 1 = Next, 2 = re-Add a dispatched request
+	id   uint64
+	v    uint64
+	pick int // index into the in-flight pool for re-adds
+}
+
+// requeueScript generates a deterministic op sequence with roughly half
+// adds, a third dispatches, and the rest fault-style re-queues.
+func requeueScript(seed uint64, n int) []lockstepOp {
+	rng := stats.NewRNG(seed)
+	ops := make([]lockstepOp, 0, n)
+	var nextID uint64
+	inflight := 0 // size of the dispatched-not-yet-requeued pool
+	queued := 0
+	for len(ops) < n {
+		roll := rng.Intn(10)
+		switch {
+		case roll < 5:
+			nextID++
+			// Distinct per request: random high bits, ID low bits.
+			// Stays far below the huge window used by the
+			// non-preemptive pair.
+			v := rng.Uint64n(1<<40)<<20 | nextID
+			ops = append(ops, lockstepOp{kind: 0, id: nextID, v: v})
+			queued++
+		case roll < 8:
+			ops = append(ops, lockstepOp{kind: 1})
+			if queued > 0 {
+				queued--
+				inflight++
+			}
+		default:
+			if inflight == 0 {
+				continue
+			}
+			ops = append(ops, lockstepOp{kind: 2, pick: rng.Intn(inflight)})
+			inflight--
+			queued++
+		}
+	}
+	return ops
+}
+
+// runLockstep drives a and b through the same script and fails the test
+// at the first Next() whose dispatched request differs.
+func runLockstep(t *testing.T, a, b *Dispatcher, ops []lockstepOp) {
+	t.Helper()
+	type flight struct {
+		r *Request
+		v uint64
+	}
+	var pool []flight // dispatched by a (== by b) and not yet re-added
+	values := map[uint64]uint64{}
+	step := func(i int) {
+		ra, rb := a.Next(), b.Next()
+		switch {
+		case ra == nil && rb == nil:
+			return
+		case ra == nil || rb == nil:
+			t.Fatalf("op %d: one dispatcher empty, the other not (a=%v b=%v)", i, ra, rb)
+		case ra.ID != rb.ID:
+			t.Fatalf("op %d: dispatch diverged: a served %d, b served %d", i, ra.ID, rb.ID)
+		}
+		// Track the request once; both dispatchers share the pointers.
+		pool = append(pool, flight{r: ra, v: values[ra.ID]})
+	}
+	for i, op := range ops {
+		switch op.kind {
+		case 0:
+			r := &Request{ID: op.id}
+			values[op.id] = op.v
+			a.Add(r, op.v)
+			b.Add(r, op.v)
+		case 1:
+			step(i)
+		case 2:
+			f := pool[op.pick]
+			pool = append(pool[:op.pick], pool[op.pick+1:]...)
+			a.Add(f.r, f.v)
+			b.Add(f.r, f.v)
+		}
+	}
+	// Drain both to the end: every remaining dispatch must also match.
+	for a.Len() > 0 || b.Len() > 0 {
+		step(-1)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("drain left unequal queues: a=%d b=%d", a.Len(), b.Len())
+	}
+}
+
+func TestWindowZeroWithSPEqualsFullyPreemptiveUnderRequeues(t *testing.T) {
+	for _, seed := range []uint64{1, 17, 42, 9001, 0xdeadbeef} {
+		ops := requeueScript(seed, 4000)
+		a := MustDispatcher(DispatcherConfig{Mode: FullyPreemptive})
+		b := MustDispatcher(DispatcherConfig{Mode: ConditionallyPreemptive, Window: 0, SP: true})
+		runLockstep(t, a, b, ops)
+	}
+}
+
+func TestHugeWindowWithSPEqualsNonPreemptiveUnderRequeues(t *testing.T) {
+	for _, seed := range []uint64{1, 17, 42, 9001, 0xdeadbeef} {
+		ops := requeueScript(seed, 4000)
+		a := MustDispatcher(DispatcherConfig{Mode: NonPreemptive})
+		b := MustDispatcher(DispatcherConfig{Mode: ConditionallyPreemptive, Window: 1 << 63, SP: true})
+		runLockstep(t, a, b, ops)
+	}
+}

@@ -81,6 +81,13 @@ func (r *RAID5) MaxBlocks() int64 {
 	return perDisk * int64(r.DataDisks())
 }
 
+// Layout exposes the logical-to-physical mapping of a block: its stripe,
+// the data disk holding it, and the cylinder of its per-disk block.
+func (r *RAID5) Layout(block int64) (stripe int64, dataDisk, cylinder int) {
+	s, d, db := r.locate(block)
+	return s, d, r.CylinderOf(db)
+}
+
 // Read maps a logical block read to physical operations: a single-disk
 // read.
 func (r *RAID5) Read(block int64) []PhysOp {
@@ -101,4 +108,57 @@ func (r *RAID5) Write(block int64) []PhysOp {
 		{Disk: d, Cylinder: cyl, Size: r.BlockSize, Write: true},
 		{Disk: p, Cylinder: cyl, Size: r.BlockSize, Write: true},
 	}
+}
+
+// DegradedRead maps a logical block read with disk failed down. A block
+// on a surviving disk reads normally; a block on the failed disk is
+// reconstructed from the same stripe row of every survivor (data units
+// XOR parity), one read per surviving disk.
+func (r *RAID5) DegradedRead(block int64, failed int) []PhysOp {
+	_, d, db := r.locate(block)
+	if d != failed {
+		return []PhysOp{{Disk: d, Cylinder: r.CylinderOf(db), Size: r.BlockSize}}
+	}
+	return r.RebuildStripe(db, failed)
+}
+
+// DegradedWrite maps a logical block write with disk failed down. With
+// the data disk lost the new parity is computed from the other data
+// units (N-2 reads) and written; the data itself is absorbed — it is
+// recoverable from parity and rewritten by rebuild. With the parity
+// disk lost the data unit is written unprotected. Otherwise the normal
+// read-modify-write applies.
+func (r *RAID5) DegradedWrite(block int64, failed int) []PhysOp {
+	s, d, db := r.locate(block)
+	cyl := r.CylinderOf(db)
+	p := r.ParityDisk(s)
+	switch failed {
+	case d:
+		ops := make([]PhysOp, 0, r.Disks-1)
+		for dd := 0; dd < r.Disks; dd++ {
+			if dd == d || dd == p {
+				continue
+			}
+			ops = append(ops, PhysOp{Disk: dd, Cylinder: cyl, Size: r.BlockSize})
+		}
+		return append(ops, PhysOp{Disk: p, Cylinder: cyl, Size: r.BlockSize, Write: true})
+	case p:
+		return []PhysOp{{Disk: d, Cylinder: cyl, Size: r.BlockSize, Write: true}}
+	default:
+		return r.Write(block)
+	}
+}
+
+// RebuildStripe returns the reads that reconstruct per-disk block db of
+// the failed disk: one read of the same stripe row on every survivor.
+func (r *RAID5) RebuildStripe(db int64, failed int) []PhysOp {
+	cyl := r.CylinderOf(db)
+	ops := make([]PhysOp, 0, r.Disks-1)
+	for d := 0; d < r.Disks; d++ {
+		if d == failed {
+			continue
+		}
+		ops = append(ops, PhysOp{Disk: d, Cylinder: cyl, Size: r.BlockSize})
+	}
+	return ops
 }

@@ -1,0 +1,125 @@
+// Package fault defines deterministic, seed-driven fault plans and the
+// injector that executes them against the simulation engine: transient
+// read errors (per-op probability or scripted events), latent bad-sector
+// ranges with remap-on-first-touch, and whole-disk failure at a planned
+// time. Recovery policies — bounded retry with exponential backoff,
+// sector remap to a spare area, degraded-mode RAID-5 reconstruction and
+// background rebuild — live in the sim package; this package only decides
+// *what* fails *when*, from its own RNG stream, so a zero-fault plan
+// leaves the engine byte-identical to a run without one.
+package fault
+
+import "fmt"
+
+// Defaults applied by New when the corresponding Plan field is zero.
+const (
+	// DefaultMaxRetries bounds the retry loop for transient errors.
+	DefaultMaxRetries = 3
+	// DefaultRetryBase is the first retry delay, µs; each further retry
+	// doubles it (exponential backoff).
+	DefaultRetryBase = 5_000
+)
+
+// Event is one scripted transient fault: the first service completion on
+// Disk at or after Time (matching Cylinder, or any cylinder when
+// Cylinder < 0) fails once.
+type Event struct {
+	Time     int64
+	Disk     int
+	Cylinder int
+}
+
+// BadRange is a latent bad-sector stretch: the first service touching a
+// cylinder in [From, To] on Disk fails and the range is remapped to the
+// spare area; later dispatches into the range are redirected there.
+type BadRange struct {
+	Disk     int
+	From, To int
+}
+
+// Plan is a deterministic fault schedule. The zero Plan injects nothing.
+// Plans are pure data: the same Plan (and engine configuration) always
+// replays the same faults.
+type Plan struct {
+	// Seed drives the injector's private RNG stream for probabilistic
+	// transients. It is independent of the engine's rotational-latency
+	// stream, so enabling faults never perturbs fault-free draws.
+	Seed uint64
+	// TransientRate is the per-service-completion probability of a
+	// transient read error, in [0, 1].
+	TransientRate float64
+	// Scripted lists deterministic one-shot transient faults.
+	Scripted []Event
+	// Bad lists latent bad-sector ranges.
+	Bad []BadRange
+
+	// MaxRetries bounds retries per request before it is abandoned
+	// (0 means DefaultMaxRetries; use a negative value for no retries).
+	MaxRetries int
+	// RetryBase is the first retry delay in µs, doubled per attempt
+	// (0 means DefaultRetryBase).
+	RetryBase int64
+
+	// FailDisk fails disk FailDisk at time FailAt (µs); FailAt == 0
+	// disables whole-disk failure. Array runs serve reads of the lost
+	// disk by reconstruction from the survivors while it is down.
+	FailDisk int
+	FailAt   int64
+	// Rebuild reconstructs RebuildBlocks per-disk blocks of the failed
+	// disk through the foreground schedulers, pausing RebuildInterval µs
+	// between blocks; when the last block completes the disk rejoins.
+	Rebuild         bool
+	RebuildBlocks   int
+	RebuildInterval int64
+
+	// Metrics overrides the process-wide DefaultMetrics sink.
+	Metrics *Metrics
+}
+
+// Zero reports whether the plan injects no faults at all.
+func (p *Plan) Zero() bool {
+	return p == nil ||
+		(p.TransientRate == 0 && len(p.Scripted) == 0 && len(p.Bad) == 0 && p.FailAt == 0)
+}
+
+// Validate checks the plan for internal consistency.
+func (p *Plan) Validate() error {
+	if p.TransientRate < 0 || p.TransientRate > 1 {
+		return fmt.Errorf("fault: TransientRate %v outside [0,1]", p.TransientRate)
+	}
+	if p.RetryBase < 0 {
+		return fmt.Errorf("fault: negative RetryBase %d", p.RetryBase)
+	}
+	for i, ev := range p.Scripted {
+		if ev.Disk < 0 {
+			return fmt.Errorf("fault: Scripted[%d] negative disk %d", i, ev.Disk)
+		}
+		if ev.Time < 0 {
+			return fmt.Errorf("fault: Scripted[%d] negative time %d", i, ev.Time)
+		}
+	}
+	for i, b := range p.Bad {
+		if b.Disk < 0 {
+			return fmt.Errorf("fault: Bad[%d] negative disk %d", i, b.Disk)
+		}
+		if b.From < 0 || b.To < b.From {
+			return fmt.Errorf("fault: Bad[%d] invalid range [%d,%d]", i, b.From, b.To)
+		}
+	}
+	if p.FailAt < 0 {
+		return fmt.Errorf("fault: negative FailAt %d", p.FailAt)
+	}
+	if p.FailAt > 0 && p.FailDisk < 0 {
+		return fmt.Errorf("fault: FailAt set but FailDisk %d is negative", p.FailDisk)
+	}
+	if p.Rebuild && p.FailAt == 0 {
+		return fmt.Errorf("fault: Rebuild requires a planned disk failure (FailAt > 0)")
+	}
+	if p.Rebuild && p.RebuildBlocks <= 0 {
+		return fmt.Errorf("fault: Rebuild requires RebuildBlocks > 0, got %d", p.RebuildBlocks)
+	}
+	if p.RebuildInterval < 0 {
+		return fmt.Errorf("fault: negative RebuildInterval %d", p.RebuildInterval)
+	}
+	return nil
+}

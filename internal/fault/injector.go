@@ -1,0 +1,248 @@
+package fault
+
+import (
+	"sfcsched/internal/core"
+	"sfcsched/internal/stats"
+)
+
+// Verdict is the injector's ruling on one service completion.
+type Verdict int
+
+const (
+	// OK: the service succeeded.
+	OK Verdict = iota
+	// Retry: the service failed transiently; re-enqueue the request after
+	// the returned backoff delay.
+	Retry
+	// Exhausted: the service failed and the retry budget is spent; the
+	// request is abandoned (a drop attributable to faults).
+	Exhausted
+	// Lost: the disk failed while the service was in flight; the op must
+	// be re-routed (arrays reconstruct) or abandoned.
+	Lost
+)
+
+// Stats is a snapshot of everything the injector did during a run.
+type Stats struct {
+	// Transients counts injected transient faults (probabilistic and
+	// scripted), including the failing attempt that exhausts a request.
+	Transients uint64
+	// BadSectorHits counts services that touched a not-yet-remapped bad
+	// range (each hit remaps its range and retries the request).
+	BadSectorHits uint64
+	// Retries counts re-enqueues issued (transient backoff + remap).
+	Retries uint64
+	// Exhausted counts requests abandoned after MaxRetries.
+	Exhausted uint64
+	// Remaps counts bad ranges remapped to the spare area.
+	Remaps uint64
+	// RemapHits counts dispatches redirected into the spare area.
+	RemapHits uint64
+	// LostInFlight counts services that were in flight on the disk when
+	// it failed.
+	LostInFlight uint64
+	// FailedAt and RebuiltAt are the disk-failure and rebuild-completion
+	// times, µs (0 = never). DegradedWindow derives from them.
+	FailedAt  int64
+	RebuiltAt int64
+}
+
+// DegradedWindow returns the duration the array ran degraded, µs: failure
+// to rebuild completion, or failure to end (makespan) when no rebuild
+// finished, or 0 if no disk ever failed.
+func (s Stats) DegradedWindow(makespan int64) int64 {
+	if s.FailedAt == 0 {
+		return 0
+	}
+	if s.RebuiltAt > s.FailedAt {
+		return s.RebuiltAt - s.FailedAt
+	}
+	return makespan - s.FailedAt
+}
+
+// badState is a BadRange plus its remap status.
+type badState struct {
+	BadRange
+	remapped bool
+}
+
+// scriptState is a scripted Event plus its one-shot status.
+type scriptState struct {
+	Event
+	done bool
+}
+
+// Injector executes a Plan against a run. It is created per run (New) and
+// is not safe for concurrent use — the engine is single-threaded.
+type Injector struct {
+	plan     Plan
+	rng      *stats.RNG
+	remapCyl int
+	attempts map[*core.Request]int
+	scripted []scriptState
+	bad      []badState
+	down     bool
+	stats    Stats
+	m        *Metrics
+}
+
+// New builds the injector for plan on a disk (or array of identical
+// disks) with the given cylinder count. The spare area all remapped
+// ranges redirect to is the innermost cylinder (cylinders-1).
+func New(plan Plan, cylinders int) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.MaxRetries == 0 {
+		plan.MaxRetries = DefaultMaxRetries
+	} else if plan.MaxRetries < 0 {
+		plan.MaxRetries = 0
+	}
+	if plan.RetryBase == 0 {
+		plan.RetryBase = DefaultRetryBase
+	}
+	in := &Injector{
+		plan:     plan,
+		rng:      stats.NewRNG(plan.Seed),
+		remapCyl: cylinders - 1,
+		attempts: make(map[*core.Request]int),
+		m:        plan.Metrics,
+	}
+	if in.remapCyl < 0 {
+		in.remapCyl = 0
+	}
+	if in.m == nil {
+		in.m = DefaultMetrics
+	}
+	for _, ev := range plan.Scripted {
+		in.scripted = append(in.scripted, scriptState{Event: ev})
+	}
+	for _, b := range plan.Bad {
+		in.bad = append(in.bad, badState{BadRange: b})
+	}
+	return in, nil
+}
+
+// Plan returns the (defaulted) plan the injector runs.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Down reports whether disk d is currently failed.
+func (in *Injector) Down(d int) bool {
+	return in.down && in.plan.FailDisk == d
+}
+
+// DownDisk returns the currently failed disk, if any.
+func (in *Injector) DownDisk() (int, bool) {
+	if !in.down {
+		return 0, false
+	}
+	return in.plan.FailDisk, true
+}
+
+// FailNow marks the planned disk failed at time now.
+func (in *Injector) FailNow(now int64) {
+	in.down = true
+	in.stats.FailedAt = now
+	in.m.DiskFailures.Inc()
+	in.m.Degraded.Set(1)
+}
+
+// MarkRebuilt returns the failed disk to service at time now.
+func (in *Injector) MarkRebuilt(now int64) {
+	in.down = false
+	in.stats.RebuiltAt = now
+	in.m.Degraded.Set(0)
+	in.m.DegradedWindowUs.Set(now - in.stats.FailedAt)
+}
+
+// Redirect returns the effective cylinder for a dispatch of cyl on disk
+// d, following any sector remap into the spare area.
+func (in *Injector) Redirect(d, cyl int) int {
+	for i := range in.bad {
+		b := &in.bad[i]
+		if b.remapped && b.Disk == d && cyl >= b.From && cyl <= b.To {
+			in.stats.RemapHits++
+			in.m.RemapHits.Inc()
+			return in.remapCyl
+		}
+	}
+	return cyl
+}
+
+// Outcome rules on the service of r that just completed on disk d at
+// (post-redirect) cylinder cyl. For Retry verdicts the second return
+// value is the backoff delay in µs before the request re-enters its
+// scheduler; it is 0 for sector remaps, which retry immediately at the
+// remapped location.
+//
+// The decision order is deterministic: disk-down check, then bad-sector
+// ranges, then scripted events, and only then — when nothing else fired —
+// a single RNG draw for the probabilistic transient. One draw at most per
+// completion, in completion order, keeps replays byte-identical.
+func (in *Injector) Outcome(d, cyl int, r *core.Request, now int64) (Verdict, int64) {
+	if in.Down(d) {
+		in.stats.LostInFlight++
+		delete(in.attempts, r)
+		return Lost, 0
+	}
+	for i := range in.bad {
+		b := &in.bad[i]
+		if !b.remapped && b.Disk == d && cyl >= b.From && cyl <= b.To {
+			b.remapped = true
+			in.stats.BadSectorHits++
+			in.stats.Remaps++
+			in.stats.Retries++
+			in.m.BadSectorHits.Inc()
+			in.m.Remaps.Inc()
+			in.m.Retries.Inc()
+			return Retry, 0
+		}
+	}
+	faulted := false
+	for i := range in.scripted {
+		ev := &in.scripted[i]
+		if !ev.done && ev.Disk == d && now >= ev.Time && (ev.Cylinder < 0 || ev.Cylinder == cyl) {
+			ev.done = true
+			faulted = true
+			break
+		}
+	}
+	if !faulted && in.plan.TransientRate > 0 && in.rng.Float64() < in.plan.TransientRate {
+		faulted = true
+	}
+	if !faulted {
+		delete(in.attempts, r)
+		return OK, 0
+	}
+	in.stats.Transients++
+	in.m.Transients.Inc()
+	a := in.attempts[r] + 1
+	if a > in.plan.MaxRetries {
+		delete(in.attempts, r)
+		in.stats.Exhausted++
+		in.m.Exhausted.Inc()
+		return Exhausted, 0
+	}
+	in.attempts[r] = a
+	in.stats.Retries++
+	in.m.Retries.Inc()
+	return Retry, in.plan.RetryBase << (a - 1)
+}
+
+// Attempted reports whether r has failed at least one service attempt
+// and is still pending (used to attribute deadline drops to faults).
+func (in *Injector) Attempted(r *core.Request) bool {
+	_, ok := in.attempts[r]
+	return ok
+}
+
+// Forget releases retry bookkeeping for a request that left the engine
+// through a path Outcome did not see (drop, re-route).
+func (in *Injector) Forget(r *core.Request) { delete(in.attempts, r) }
+
+// Stats returns a snapshot of the injector's counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Metrics returns the obs sink this injector (and the run layered on it)
+// reports into.
+func (in *Injector) Metrics() *Metrics { return in.m }

@@ -33,6 +33,16 @@ type Collector struct {
 	Dropped uint64 // deadline passed before service started
 	Late    uint64 // served, but finished after the deadline
 
+	// FaultAttempts counts service attempts that failed on an injected
+	// fault; their seek and busy time still accrue to SeekTime and
+	// ServiceTime (the head moved and the disk was occupied).
+	FaultAttempts uint64
+	// FaultDropped counts the subset of Dropped attributable to faults
+	// (retry budget exhausted, deadline expired during a retry backoff, or
+	// stranded on a failed disk). Dropped - FaultDropped is the share
+	// attributable to load alone.
+	FaultDropped uint64
+
 	SeekTime     int64 // total head-movement time, µs
 	ServiceTime  int64 // total busy time, µs
 	Makespan     int64 // completion time of the run, µs
@@ -109,6 +119,21 @@ func (c *Collector) OnServed(r *core.Request, seek, service, start int64) {
 	c.SeekTime += seek
 	c.ServiceTime += service
 	c.WaitingTimes.Add(float64(start - r.Arrival))
+}
+
+// OnFaultAttempt records a service attempt that failed on an injected
+// fault: the attempt's seek and busy time are charged, but nothing is
+// served.
+func (c *Collector) OnFaultAttempt(seek, service int64) {
+	c.FaultAttempts++
+	c.SeekTime += seek
+	c.ServiceTime += service
+}
+
+// OnFaultDropped attributes the latest drop to faults rather than load.
+// Callers invoke it alongside OnDropped, so FaultDropped <= Dropped.
+func (c *Collector) OnFaultDropped() {
+	c.FaultDropped++
 }
 
 // OnDropped records a request whose deadline expired before service.

@@ -3,6 +3,7 @@ package sim
 import (
 	"sfcsched/internal/core"
 	"sfcsched/internal/disk"
+	"sfcsched/internal/fault"
 	"sfcsched/internal/metrics"
 	"sfcsched/internal/sched"
 	"sfcsched/internal/stats"
@@ -78,32 +79,39 @@ func (s *Station) Enqueue(r *core.Request, now int64) {
 	s.Sched.Add(r, now, s.head)
 }
 
-// serviceTime returns (seekTime, totalServiceTime) for serving r from the
-// station's head. Exactly one RNG draw happens per sampled-rotation
-// service, in dispatch order, which keeps runs reproducible.
-func (s *Station) serviceTime(r *core.Request, rng *stats.RNG) (int64, int64) {
+// serviceTimeAt returns (seekTime, totalServiceTime) for a service of
+// size bytes at the (already clamped, possibly remapped) cylinder cyl.
+// Exactly one RNG draw happens per sampled-rotation service, in dispatch
+// order, which keeps runs reproducible.
+func (s *Station) serviceTimeAt(cyl int, size int64, rng *stats.RNG) (int64, int64) {
 	if s.FixedService > 0 {
 		return 0, s.FixedService
 	}
-	cyl := clampCyl(r.Cylinder, s.Disk.Cylinders)
 	if s.TransferOnly {
-		return 0, s.Disk.TransferTime(cyl, r.Size)
+		return 0, s.Disk.TransferTime(cyl, size)
 	}
 	seek := s.Disk.SeekTime(s.head, cyl)
 	rot := s.Disk.AvgRotationalLatency()
 	if s.SampleRotation {
 		rot = s.Disk.RotationalLatency(rng)
 	}
-	return seek, seek + rot + s.Disk.TransferTime(cyl, r.Size)
+	return seek, seek + rot + s.Disk.TransferTime(cyl, size)
 }
 
-// event is one pending engine event. The heap orders events by
-// (time, seq): seq is a deterministic tie-break — completion events use
-// the station ID — so identical configurations replay identically.
+// timerSeqBase offsets timer-event sequence numbers above every station
+// ID, so at equal times completion events always fire before timers.
+const timerSeqBase = uint64(1) << 32
+
+// event is one pending engine event: a service completion (station set)
+// or a timer callback (fn set). The heap orders events by (time, seq):
+// seq is a deterministic tie-break — completion events use the station
+// ID, timers a monotone counter above timerSeqBase — so identical
+// configurations replay identically.
 type event struct {
 	time    int64
 	seq     uint64
 	station *Station
+	fn      func(now int64)
 }
 
 func (a event) before(b event) bool {
@@ -169,6 +177,13 @@ type Engine struct {
 	// (served or dropped) on any station, with DiskID set to the station
 	// ID. The hook runs inline; a slow sink slows the run, not the clock.
 	Trace func(TraceEvent)
+	// Faults, when non-nil, injects the deterministic fault plan: every
+	// service completion is ruled on (OK/Retry/Exhausted/Lost), retried
+	// requests re-enter their scheduler after a backoff timer, and
+	// dispatches follow sector remaps. The injector draws from its own
+	// RNG stream, so a nil (or zero-plan) injector leaves runs
+	// byte-identical.
+	Faults *fault.Injector
 
 	// OnServed fires when a station completes a service; OnDropped when a
 	// station drops an expired request; OnLateStart when a service starts
@@ -179,13 +194,27 @@ type Engine struct {
 	OnServed    func(st *Station, r *core.Request, now int64)
 	OnDropped   func(st *Station, r *core.Request, now int64)
 	OnLateStart func(st *Station, r *core.Request, now int64)
+	// OnFaulted fires when a request is lost to a failed disk (in flight
+	// at failure time, or its retry timer landed on the dead station).
+	// Array runs re-route it through reconstruction; without a handler
+	// the request is dropped and attributed to faults.
+	OnFaulted func(st *Station, r *core.Request, now int64)
 
-	events eventHeap
-	now    int64
+	events   eventHeap
+	now      int64
+	timerSeq uint64
 }
 
 // Now returns the engine clock, µs.
 func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn to run at time t (e.g. a planned disk failure or a
+// retry re-enqueue). At equal times timers run after completions and
+// before arrivals, in scheduling order.
+func (e *Engine) At(t int64, fn func(now int64)) {
+	e.timerSeq++
+	e.events.push(event{time: t, seq: timerSeqBase + e.timerSeq, fn: fn})
+}
 
 // Run drives the engine until every event has fired and the trace is
 // exhausted, returning the completion time of the run (the makespan).
@@ -196,9 +225,10 @@ func (e *Engine) Now() int64 { return e.now }
 //
 // Determinism rules: the clock advances to the earliest pending event
 // time; at each time all completion events fire first in (time, seq)
-// order, then arrivals in trace order, then idle stations dispatch in
-// station-index order. Identical configurations therefore replay
-// identically, including the RNG draw sequence.
+// order, then timers in scheduling order, then arrivals in trace order,
+// then idle stations dispatch in station-index order. Identical
+// configurations therefore replay identically, including the RNG draw
+// sequence.
 func (e *Engine) Run(trace []*core.Request, deliver func(r *core.Request, now int64)) int64 {
 	i := 0 // next arrival index
 	for {
@@ -217,6 +247,10 @@ func (e *Engine) Run(trace []*core.Request, deliver func(r *core.Request, now in
 		// OnServed hook enqueues) can take this round's arrivals.
 		for len(e.events) > 0 && e.events[0].time == t {
 			ev := e.events.pop()
+			if ev.fn != nil {
+				ev.fn(t)
+				continue
+			}
 			e.complete(ev.station, t)
 		}
 		for i < len(trace) && trace[i].Arrival <= t {
@@ -234,6 +268,11 @@ func (e *Engine) Run(trace []*core.Request, deliver func(r *core.Request, now in
 // dropping expired requests first under DropLate. This is the single
 // drop/late/service-time/metrics code path of the package.
 func (e *Engine) dispatch(st *Station, now int64) {
+	if e.Faults != nil && e.Faults.Down(st.ID) {
+		// A failed disk serves nothing; the array layer drains and
+		// re-routes its queue at failure time.
+		return
+	}
 	for st.inSvc == nil && st.Sched.Len() > 0 {
 		r := st.Sched.Next(now, st.head)
 		if r == nil {
@@ -245,6 +284,12 @@ func (e *Engine) dispatch(st *Station, now int64) {
 			// the §5.1 inversion counts. OnDispatch therefore runs only
 			// after the expiry check.
 			st.Col.OnDropped(r)
+			if e.Faults != nil && e.Faults.Attempted(r) {
+				// The deadline expired while the request sat out a retry
+				// backoff: a drop attributable to faults, not load.
+				st.Col.OnFaultDropped()
+				e.Faults.Forget(r)
+			}
 			if e.Trace != nil {
 				e.Trace(TraceEvent{Now: now, DiskID: st.ID, Request: r, Dropped: true, QueueLen: st.Sched.Len()})
 			}
@@ -254,10 +299,15 @@ func (e *Engine) dispatch(st *Station, now int64) {
 			continue
 		}
 		st.Col.OnDispatch(r, st.Sched.Each)
-		seek, svc := st.serviceTime(r, e.RNG)
 		target := r.Cylinder
 		if st.Disk != nil {
 			target = clampCyl(r.Cylinder, st.Disk.Cylinders)
+			if e.Faults != nil {
+				target = e.Faults.Redirect(st.ID, target)
+			}
+		}
+		seek, svc := st.serviceTimeAt(target, r.Size, e.RNG)
+		if st.Disk != nil {
 			st.headTravel += int64(absInt(target - st.head))
 		}
 		if e.Trace != nil {
@@ -286,15 +336,71 @@ func (e *Engine) dispatch(st *Station, now int64) {
 	}
 }
 
-// complete fires the completion of st's in-flight service.
+// complete fires the completion of st's in-flight service. With a fault
+// injector installed the completion is ruled on first: a faulted attempt
+// still consumed the station (its seek and busy time are charged), but
+// the request is re-enqueued after a backoff (Retry), abandoned
+// (Exhausted) or re-routed (Lost) instead of completing.
 func (e *Engine) complete(st *Station, now int64) {
 	r := st.inSvc
 	st.inSvc = nil
 	if !st.HeadAtDispatch {
 		st.head = st.target
 	}
+	if e.Faults != nil {
+		verdict, delay := e.Faults.Outcome(st.ID, st.target, r, now)
+		if verdict != fault.OK {
+			e.faulted(st, r, verdict, delay, now)
+			return
+		}
+	}
 	st.Col.OnServed(r, st.svcSeek, st.svcTime, st.svcStart)
 	if e.OnServed != nil {
 		e.OnServed(st, r, now)
+	}
+}
+
+// faulted handles a non-OK verdict on the completed service of r.
+func (e *Engine) faulted(st *Station, r *core.Request, verdict fault.Verdict, delay, now int64) {
+	st.Col.OnFaultAttempt(st.svcSeek, st.svcTime)
+	if e.Trace != nil {
+		e.Trace(TraceEvent{Now: now, DiskID: st.ID, Request: r, Head: st.head,
+			Faulted: true, Dropped: verdict == fault.Exhausted, QueueLen: st.Sched.Len()})
+	}
+	switch verdict {
+	case fault.Retry:
+		e.At(now+delay, func(t int64) {
+			if e.Faults.Down(st.ID) {
+				// The disk died during the backoff; the retry has nowhere
+				// to land.
+				e.lose(st, r, t)
+				return
+			}
+			st.Enqueue(r, t)
+		})
+	case fault.Exhausted:
+		st.Col.OnDropped(r)
+		st.Col.OnFaultDropped()
+		if e.OnDropped != nil {
+			e.OnDropped(st, r, now)
+		}
+	case fault.Lost:
+		e.lose(st, r, now)
+	}
+}
+
+// lose hands a request stranded on a failed disk to OnFaulted (arrays
+// re-route it through reconstruction); without a handler it is dropped
+// and attributed to faults.
+func (e *Engine) lose(st *Station, r *core.Request, now int64) {
+	e.Faults.Forget(r)
+	if e.OnFaulted != nil {
+		e.OnFaulted(st, r, now)
+		return
+	}
+	st.Col.OnDropped(r)
+	st.Col.OnFaultDropped()
+	if e.OnDropped != nil {
+		e.OnDropped(st, r, now)
 	}
 }

@@ -1,0 +1,452 @@
+package sim
+
+// Fault-injection tests: zero-fault byte-identity, transient retry and
+// exhaustion semantics, bad-sector remap, fault-attributed drops, and the
+// degraded-mode RAID-5 acceptance scenario (fail disk k mid-run, serve
+// its reads by reconstruction, rebuild in the background through the
+// foreground schedulers, and return to non-degraded service afterwards).
+
+import (
+	"reflect"
+	"testing"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/disk"
+	"sfcsched/internal/fault"
+	"sfcsched/internal/sched"
+)
+
+// quietMetrics gives each test plan its own obs sink so parallel tests
+// never race on fault.DefaultMetrics.
+func quietMetrics() *fault.Metrics { return &fault.Metrics{} }
+
+func TestZeroFaultPlanByteIdenticalSingle(t *testing.T) {
+	m := xp()
+	trace := goldenTrace(3, m)
+	run := func(plan *fault.Plan) ([]flatEvent, *Result) {
+		var events []flatEvent
+		cfg := Config{Disk: m, Scheduler: sched.NewSCAN(),
+			Options: Options{DropLate: true, Fault: plan,
+				Trace: func(ev TraceEvent) { events = append(events, flatten(ev)) }}}
+		res, err := Run(cfg, smallTraceCopy(trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return events, res
+	}
+	baseEvents, baseRes := run(nil)
+	for name, plan := range map[string]*fault.Plan{
+		"zero-plan": {Seed: 99, Metrics: quietMetrics()},
+		// A plan that can never fire: the injector is installed and rules
+		// on every completion, yet must not perturb a single byte.
+		"armed-but-silent": {Seed: 99, Bad: []fault.BadRange{{Disk: 5, From: 0, To: 1}}, Metrics: quietMetrics()},
+	} {
+		events, res := run(plan)
+		if !reflect.DeepEqual(events, baseEvents) {
+			t.Errorf("%s: trace stream diverged from fault-free run", name)
+		}
+		if !reflect.DeepEqual(res.Collector, baseRes.Collector) {
+			t.Errorf("%s: collector diverged from fault-free run", name)
+		}
+		if res.HeadTravel != baseRes.HeadTravel {
+			t.Errorf("%s: head travel %d != %d", name, res.HeadTravel, baseRes.HeadTravel)
+		}
+	}
+}
+
+func TestZeroFaultPlanByteIdenticalArray(t *testing.T) {
+	array := testArray(t)
+	var trace []*core.Request
+	for i := 0; i < 120; i++ {
+		trace = append(trace, &core.Request{
+			ID: uint64(i + 1), Arrival: int64(i) * 7_000,
+			Cylinder: i * 53 % 4000, Size: 64 << 10, Write: i%4 == 0,
+		})
+	}
+	run := func(plan *fault.Plan) ([]flatEvent, *ArrayResult) {
+		var events []flatEvent
+		cfg := ArrayConfig{Array: array, NewScheduler: fcfsPerDisk,
+			Options: Options{Fault: plan,
+				Trace: func(ev TraceEvent) { events = append(events, flatten(ev)) }}}
+		res, err := RunArray(cfg, smallTraceCopy(trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return events, res
+	}
+	baseEvents, baseRes := run(nil)
+	events, res := run(&fault.Plan{Seed: 4, Bad: []fault.BadRange{{Disk: 99, From: 0, To: 1}}, Metrics: quietMetrics()})
+	if !reflect.DeepEqual(events, baseEvents) {
+		t.Error("armed-but-silent plan: array trace stream diverged")
+	}
+	if !reflect.DeepEqual(res.PerDisk, baseRes.PerDisk) || !reflect.DeepEqual(res.Logical, baseRes.Logical) {
+		t.Error("armed-but-silent plan: array collectors diverged")
+	}
+}
+
+func TestScriptedTransientRetriesThenServes(t *testing.T) {
+	trace := []*core.Request{{ID: 1, Arrival: 0, Cylinder: 100, Size: 4 << 10}}
+	res, err := Run(Config{FixedService: 10_000, Scheduler: sched.NewFCFS(),
+		Options: Options{Fault: &fault.Plan{
+			Scripted:  []fault.Event{{Time: 0, Disk: 0, Cylinder: -1}},
+			RetryBase: 1_000, Metrics: quietMetrics(),
+		}}}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 1 || res.Dropped != 0 {
+		t.Fatalf("served=%d dropped=%d, want 1/0", res.Served, res.Dropped)
+	}
+	if res.FaultAttempts != 1 {
+		t.Errorf("FaultAttempts = %d, want 1", res.FaultAttempts)
+	}
+	// The failed attempt occupied the disk: two attempts of busy time.
+	if res.ServiceTime != 20_000 {
+		t.Errorf("ServiceTime = %d, want 20000", res.ServiceTime)
+	}
+	if res.Faults == nil || res.Faults.Transients != 1 || res.Faults.Retries != 1 {
+		t.Errorf("fault stats = %+v, want 1 transient, 1 retry", res.Faults)
+	}
+	// Completion: 10000 (failed) + 1000 backoff + 10000 (served).
+	if res.Makespan != 21_000 {
+		t.Errorf("Makespan = %d, want 21000", res.Makespan)
+	}
+}
+
+func TestTransientRetryExhausted(t *testing.T) {
+	trace := []*core.Request{{ID: 1, Arrival: 0, Cylinder: 5, Size: 4 << 10}}
+	res, err := Run(Config{FixedService: 10_000, Scheduler: sched.NewFCFS(),
+		Options: Options{Fault: &fault.Plan{
+			TransientRate: 1, MaxRetries: 2, RetryBase: 1_000, Metrics: quietMetrics(),
+		}}}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 0 || res.Dropped != 1 || res.FaultDropped != 1 {
+		t.Fatalf("served=%d dropped=%d faultDropped=%d, want 0/1/1",
+			res.Served, res.Dropped, res.FaultDropped)
+	}
+	if res.FaultAttempts != 3 {
+		t.Errorf("FaultAttempts = %d, want 3 (initial + 2 retries)", res.FaultAttempts)
+	}
+	fs := res.Faults
+	if fs.Transients != 3 || fs.Retries != 2 || fs.Exhausted != 1 {
+		t.Errorf("fault stats = %+v, want 3 transients, 2 retries, 1 exhausted", fs)
+	}
+	// Exponential backoff: 10000 + 1000 + 10000 + 2000 + 10000 = 33000.
+	if res.Makespan != 33_000 {
+		t.Errorf("Makespan = %d, want 33000", res.Makespan)
+	}
+}
+
+func TestDeadlineExpiresDuringBackoff(t *testing.T) {
+	trace := []*core.Request{{ID: 1, Arrival: 0, Cylinder: 5, Size: 4 << 10, Deadline: 15_000}}
+	res, err := Run(Config{FixedService: 10_000, Scheduler: sched.NewFCFS(),
+		Options: Options{DropLate: true, Fault: &fault.Plan{
+			Scripted:  []fault.Event{{Time: 0, Disk: 0, Cylinder: -1}},
+			RetryBase: 10_000, Metrics: quietMetrics(),
+		}}}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only attempt faulted; the retry re-enqueued at 20000, past the
+	// 15000 deadline — a drop attributable to the fault, not to load.
+	if res.Served != 0 || res.Dropped != 1 || res.FaultDropped != 1 {
+		t.Fatalf("served=%d dropped=%d faultDropped=%d, want 0/1/1",
+			res.Served, res.Dropped, res.FaultDropped)
+	}
+}
+
+func TestBadSectorRemap(t *testing.T) {
+	m := xp()
+	trace := []*core.Request{
+		{ID: 1, Arrival: 0, Cylinder: 150, Size: 4 << 10},
+		{ID: 2, Arrival: 500_000, Cylinder: 160, Size: 4 << 10},
+	}
+	var heads []int
+	res, err := Run(Config{Disk: m, Scheduler: sched.NewFCFS(),
+		Options: Options{
+			Trace: func(ev TraceEvent) {
+				if !ev.Faulted {
+					heads = append(heads, ev.Head)
+				}
+			},
+			Fault: &fault.Plan{
+				Bad: []fault.BadRange{{Disk: 0, From: 100, To: 200}}, Metrics: quietMetrics(),
+			}}}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 2 {
+		t.Fatalf("served = %d, want 2", res.Served)
+	}
+	fs := res.Faults
+	if fs.BadSectorHits != 1 || fs.Remaps != 1 {
+		t.Errorf("fault stats = %+v, want 1 bad-sector hit remapping 1 range", fs)
+	}
+	// Request 1's retry and request 2 both redirect into the spare area.
+	if fs.RemapHits != 2 {
+		t.Errorf("RemapHits = %d, want 2", fs.RemapHits)
+	}
+	// After the remapped retry the head sits on the spare (innermost)
+	// cylinder, where request 2 finds it.
+	last := heads[len(heads)-1]
+	if last != m.Cylinders-1 {
+		t.Errorf("head before final dispatch = %d, want spare cylinder %d", last, m.Cylinders-1)
+	}
+}
+
+func TestRunRejectsDiskFailureWithoutArray(t *testing.T) {
+	_, err := Run(Config{FixedService: 1000, Scheduler: sched.NewFCFS(),
+		Options: Options{Fault: &fault.Plan{FailDisk: 0, FailAt: 1}}}, nil)
+	if err == nil {
+		t.Fatal("expected error: whole-disk failure needs an array")
+	}
+}
+
+func TestArrayRejectsFailDiskOutOfRange(t *testing.T) {
+	array := testArray(t)
+	_, err := RunArray(ArrayConfig{Array: array, NewScheduler: fcfsPerDisk,
+		Options: Options{Fault: &fault.Plan{FailDisk: 7, FailAt: 1, Metrics: quietMetrics()}}}, nil)
+	if err == nil {
+		t.Fatal("expected error: FailDisk outside the array")
+	}
+}
+
+// blocksOnDisk returns n logical blocks whose data unit lives on disk d,
+// scanning upward from block from.
+func blocksOnDisk(array *disk.RAID5, d int, from int64, n int) []int64 {
+	var out []int64
+	for b := from; int64(len(out)) < int64(n); b++ {
+		if _, dd, _ := array.Layout(b); dd == d {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// degradedEvent is the comparison tuple of the post-rebuild identity
+// check: everything that defines a dispatch except the physical request
+// ID (reconstruction fan-outs shift the ID sequence between runs).
+type degradedEvent struct {
+	Now      int64
+	DiskID   int
+	Cylinder int
+	Head     int
+	Seek     int64
+	Service  int64
+}
+
+// TestDegradedModeCorrectness is the acceptance scenario: disk k fails
+// mid-run; every subsequent read of a block on disk k is served by
+// reconstruction from the surviving disks (no dispatch ever lands on
+// disk k while it is down); the background rebuild completes through the
+// foreground schedulers; and post-rebuild service is byte-identical to
+// the non-degraded run on the same trace.
+func TestDegradedModeCorrectness(t *testing.T) {
+	array := testArray(t)
+	const k = 2
+	const failAt = int64(1_000_000)
+
+	kBlocks := blocksOnDisk(array, k, 0, 8)
+	otherBlocks := blocksOnDisk(array, 0, 0, 8)
+	// Head-reset blocks (one per disk) and probe blocks for the
+	// post-rebuild phase, far from the earlier blocks so cylinders differ.
+	var resetBlocks []int64
+	for d := 0; d < array.Disks; d++ {
+		resetBlocks = append(resetBlocks, blocksOnDisk(array, d, 0, 1)[0])
+	}
+	probeBlocks := append(blocksOnDisk(array, k, 40_000, 3), blocksOnDisk(array, 1, 40_000, 3)...)
+
+	var trace []*core.Request
+	var id uint64
+	add := func(at int64, block int64) {
+		id++
+		trace = append(trace, &core.Request{ID: id, Arrival: at, Cylinder: int(block), Size: 64 << 10})
+	}
+	// Phase 1: healthy operation, draining well before the failure.
+	for i := 0; i < 8; i++ {
+		add(int64(i)*40_000, kBlocks[i%len(kBlocks)])
+		add(int64(i)*40_000+10_000, otherBlocks[i%len(otherBlocks)])
+	}
+	// Phase 2: inside the degraded window (the rebuild below takes ~1.2s).
+	degradedKReads := 0
+	for i := 0; i < 6; i++ {
+		at := failAt + 10_000 + int64(i)*30_000
+		if i%2 == 0 {
+			add(at, kBlocks[i%len(kBlocks)])
+			degradedKReads++
+		} else {
+			add(at, otherBlocks[i%len(otherBlocks)])
+		}
+	}
+	// Phase 3: long after the rebuild — head resets, then probes.
+	const phase3 = int64(6_000_000)
+	for i, b := range resetBlocks {
+		add(phase3+int64(i)*50_000, b)
+	}
+	probeStart := phase3 + int64(len(resetBlocks))*50_000 + 100_000
+	for i, b := range probeBlocks {
+		add(probeStart+int64(i)*50_000, b)
+	}
+
+	plan := &fault.Plan{
+		FailDisk: k, FailAt: failAt,
+		Rebuild: true, RebuildBlocks: 30, RebuildInterval: 10_000,
+		Metrics: quietMetrics(),
+	}
+	var faultedAt, rebuiltAt int64
+	var events []TraceEvent
+	cfg := ArrayConfig{
+		Array: array, NewScheduler: fcfsPerDisk,
+		OnFaulted: func(d int, now int64) {
+			if d == k {
+				faultedAt = now
+			}
+		},
+		OnRebuilt: func(d int, now int64) {
+			if d == k {
+				rebuiltAt = now
+			}
+		},
+		Options: Options{Fault: plan, Trace: func(ev TraceEvent) { events = append(events, ev) }},
+	}
+	res, err := RunArray(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if faultedAt != failAt {
+		t.Fatalf("OnFaulted at %d, want %d", faultedAt, failAt)
+	}
+	if rebuiltAt <= failAt {
+		t.Fatalf("rebuild never completed (OnRebuilt at %d)", rebuiltAt)
+	}
+	if rebuiltAt >= phase3 {
+		t.Fatalf("rebuild finished at %d, after the post-rebuild phase %d — retune the test", rebuiltAt, phase3)
+	}
+	fs := res.Faults
+	if fs == nil || fs.FailedAt != failAt || fs.RebuiltAt != rebuiltAt {
+		t.Fatalf("fault stats = %+v, want FailedAt=%d RebuiltAt=%d", fs, failAt, rebuiltAt)
+	}
+	if got, want := fs.DegradedWindow(res.Makespan), rebuiltAt-failAt; got != want {
+		t.Errorf("DegradedWindow = %d, want %d", got, want)
+	}
+
+	// No dispatch may land on disk k while it is down.
+	for _, ev := range events {
+		if ev.DiskID == k && ev.Now > failAt && ev.Now <= rebuiltAt {
+			t.Fatalf("dispatch on failed disk %d at t=%d (degraded window (%d,%d])",
+				k, ev.Now, failAt, rebuiltAt)
+		}
+	}
+	// Every degraded read of disk k reconstructed from the survivors.
+	if res.Reconstructions != uint64(degradedKReads) {
+		t.Errorf("Reconstructions = %d, want %d", res.Reconstructions, degradedKReads)
+	}
+	// The rebuild read every stripe row once from each survivor.
+	if want := uint64(plan.RebuildBlocks * (array.Disks - 1)); res.RebuildReads != want {
+		t.Errorf("RebuildReads = %d, want %d", res.RebuildReads, want)
+	}
+	// Disk k serves again after the rebuild.
+	served := false
+	for _, ev := range events {
+		if ev.DiskID == k && ev.Now > rebuiltAt {
+			served = true
+			break
+		}
+	}
+	if !served {
+		t.Error("no dispatch on disk k after the rebuild")
+	}
+	// Nothing was lost: every logical request completed.
+	if res.Logical.Served != uint64(len(trace)) {
+		t.Errorf("Logical.Served = %d, want %d", res.Logical.Served, len(trace))
+	}
+
+	// Post-rebuild identity: the probe dispatches must match the
+	// non-degraded run on the same trace exactly (the head resets pin
+	// every disk to the same cylinder in both runs first).
+	probes := func(evs []TraceEvent) []degradedEvent {
+		var out []degradedEvent
+		for _, ev := range evs {
+			if ev.Now >= probeStart {
+				out = append(out, degradedEvent{ev.Now, ev.DiskID, ev.Request.Cylinder, ev.Head, ev.Seek, ev.Service})
+			}
+		}
+		return out
+	}
+	var goldenEvents []TraceEvent
+	goldenCfg := ArrayConfig{Array: array, NewScheduler: fcfsPerDisk,
+		Options: Options{Trace: func(ev TraceEvent) { goldenEvents = append(goldenEvents, ev) }}}
+	if _, err := RunArray(goldenCfg, smallTraceCopy(trace)); err != nil {
+		t.Fatal(err)
+	}
+	got, want := probes(events), probes(goldenEvents)
+	if len(want) == 0 {
+		t.Fatal("no probe events in the golden run — retune the test")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-rebuild service diverged from the non-degraded run:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestDegradedWritesAbsorbed checks the degraded write paths: with the
+// data disk down the parity is updated from the other data units and the
+// data write is absorbed; with the parity disk down the data is written
+// unprotected.
+func TestDegradedWritesAbsorbed(t *testing.T) {
+	array := testArray(t)
+	const k = 2
+	kBlocks := blocksOnDisk(array, k, 0, 2)
+	var trace []*core.Request
+	// Write to a block whose data disk is down, after the failure.
+	trace = append(trace, &core.Request{ID: 1, Arrival: 200_000, Cylinder: int(kBlocks[0]), Size: 64 << 10, Write: true})
+	res, err := RunArray(ArrayConfig{Array: array, NewScheduler: fcfsPerDisk,
+		Options: Options{Fault: &fault.Plan{FailDisk: k, FailAt: 100_000, Metrics: quietMetrics()}}}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Logical.Served != 1 {
+		t.Fatalf("Logical.Served = %d, want 1", res.Logical.Served)
+	}
+	if res.AbsorbedWrites != 1 {
+		t.Errorf("AbsorbedWrites = %d, want 1", res.AbsorbedWrites)
+	}
+	// Degraded RMW with the data disk down: N-2 reads + 1 parity write.
+	var ops uint64
+	for _, n := range res.PerDiskOps {
+		ops += n
+	}
+	if want := uint64(array.Disks - 2 + 1); ops != want {
+		t.Errorf("physical ops = %d, want %d", ops, want)
+	}
+}
+
+// TestFailureReroutesQueuedAndInFlight drains the dead disk's queue and
+// re-routes the in-flight operation through reconstruction.
+func TestFailureReroutesQueuedAndInFlight(t *testing.T) {
+	array := testArray(t)
+	const k = 2
+	kBlocks := blocksOnDisk(array, k, 0, 4)
+	var trace []*core.Request
+	// Burst of reads on disk k just before the failure: one is in flight
+	// and the rest are queued when the disk dies.
+	for i, b := range kBlocks {
+		trace = append(trace, &core.Request{ID: uint64(i + 1), Arrival: int64(i) * 100, Cylinder: int(b), Size: 64 << 10})
+	}
+	res, err := RunArray(ArrayConfig{Array: array, NewScheduler: fcfsPerDisk,
+		Options: Options{Fault: &fault.Plan{FailDisk: k, FailAt: 5_000, Metrics: quietMetrics()}}}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Logical.Served != uint64(len(trace)) {
+		t.Fatalf("Logical.Served = %d, want %d (all reads must reconstruct)", res.Logical.Served, len(trace))
+	}
+	if res.Reconstructions != uint64(len(trace)) {
+		t.Errorf("Reconstructions = %d, want %d", res.Reconstructions, len(trace))
+	}
+	if res.Faults.LostInFlight != 1 {
+		t.Errorf("LostInFlight = %d, want 1", res.Faults.LostInFlight)
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+// FuzzEngineDeterminism: two runs with identical Options + seed + fault
+// plan must produce byte-identical TraceEvent streams, collectors and
+// fault metrics — the replay-identity guarantee behind every golden test
+// and the failure-replay harness, extended over the fault path.
+
+import (
+	"reflect"
+	"testing"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/disk"
+	"sfcsched/internal/fault"
+	"sfcsched/internal/sched"
+	"sfcsched/internal/workload"
+)
+
+// fuzzPlan derives a fault plan from the fuzz arguments. rateB scales the
+// transient rate in [0, 0.31]; failB arms bad sectors (bit 0), a scripted
+// event (bit 1) and — on arrays — a mid-run disk failure with rebuild
+// (bit 2).
+func fuzzPlan(seed uint64, rateB, failB byte, array bool) *fault.Plan {
+	plan := &fault.Plan{
+		Seed:          seed ^ 0x9e3779b97f4a7c15,
+		TransientRate: float64(rateB%32) / 100,
+		RetryBase:     2_000,
+		Metrics:       &fault.Metrics{},
+	}
+	if failB&1 != 0 {
+		plan.Bad = []fault.BadRange{{Disk: 0, From: 500, To: 900}}
+	}
+	if failB&2 != 0 {
+		plan.Scripted = []fault.Event{{Time: 200_000, Disk: 0, Cylinder: -1}}
+	}
+	if array && failB&4 != 0 {
+		plan.FailDisk = int(failB) % 5
+		plan.FailAt = 400_000
+		plan.Rebuild = true
+		plan.RebuildBlocks = 5
+		plan.RebuildInterval = 3_000
+	}
+	return plan
+}
+
+func FuzzEngineDeterminism(f *testing.F) {
+	f.Add(uint64(1), uint16(120), byte(10), byte(0), false, false)
+	f.Add(uint64(7), uint16(200), byte(25), byte(3), true, false)
+	f.Add(uint64(3), uint16(150), byte(5), byte(7), true, true)
+	f.Add(uint64(11), uint16(90), byte(0), byte(4), false, true)
+	f.Add(uint64(42), uint16(250), byte(31), byte(6), true, true)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, rateB, failB byte, drop, array bool) {
+		m := disk.MustModel(disk.QuantumXP32150Params())
+		count := 50 + int(n)%250
+		if array {
+			fuzzArrayRun(t, m, seed, count, rateB, failB, drop)
+			return
+		}
+		plan := fuzzPlan(seed, rateB, failB, false)
+		trace := workload.Open{
+			Seed: seed, Count: count, MeanInterarrival: 15_000,
+			Dims: 2, Levels: 8, DeadlineMin: 100_000, DeadlineMax: 400_000,
+			Cylinders: m.Cylinders, SizeMin: 4 << 10, SizeMax: 128 << 10,
+		}.MustGenerate()
+		run := func() ([]flatEvent, *Result) {
+			var events []flatEvent
+			res, err := Run(Config{Disk: m, Scheduler: sched.NewSCANEDF(50_000),
+				Options: Options{DropLate: drop, Seed: seed, SampleRotation: true,
+					Fault: plan,
+					Trace: func(ev TraceEvent) { events = append(events, flatten(ev)) }}},
+				smallTraceCopy(trace))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return events, res
+		}
+		ev1, res1 := run()
+		ev2, res2 := run()
+		if !reflect.DeepEqual(ev1, ev2) {
+			t.Fatal("trace streams diverged between identical runs")
+		}
+		if !reflect.DeepEqual(res1.Collector, res2.Collector) {
+			t.Fatal("collectors diverged between identical runs")
+		}
+		if !reflect.DeepEqual(res1.Faults, res2.Faults) {
+			t.Fatalf("fault stats diverged: %+v vs %+v", res1.Faults, res2.Faults)
+		}
+		if res1.HeadTravel != res2.HeadTravel {
+			t.Fatal("head travel diverged between identical runs")
+		}
+	})
+}
+
+func fuzzArrayRun(t *testing.T, m *disk.Model, seed uint64, count int, rateB, failB byte, drop bool) {
+	array, err := disk.NewRAID5(5, 64<<10, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fuzzPlan(seed, rateB, failB, true)
+	rng := seed
+	next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng >> 33 }
+	var trace []*core.Request
+	for i := 0; i < count; i++ {
+		trace = append(trace, &core.Request{
+			ID:       uint64(i + 1),
+			Arrival:  int64(i) * 6_000,
+			Cylinder: int(next() % uint64(array.MaxBlocks())),
+			Size:     64 << 10,
+			Write:    next()%4 == 0,
+			Deadline: int64(i)*6_000 + 300_000,
+		})
+	}
+	run := func() ([]flatEvent, *ArrayResult) {
+		var events []flatEvent
+		res, err := RunArray(ArrayConfig{Array: array, NewScheduler: fcfsPerDisk,
+			Options: Options{DropLate: drop, Seed: seed, Fault: plan,
+				Trace: func(ev TraceEvent) { events = append(events, flatten(ev)) }}},
+			smallTraceCopy(trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return events, res
+	}
+	ev1, res1 := run()
+	ev2, res2 := run()
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Fatal("array trace streams diverged between identical runs")
+	}
+	if !reflect.DeepEqual(res1.Logical, res2.Logical) || !reflect.DeepEqual(res1.PerDisk, res2.PerDisk) {
+		t.Fatal("array collectors diverged between identical runs")
+	}
+	if !reflect.DeepEqual(res1.Faults, res2.Faults) {
+		t.Fatalf("array fault stats diverged: %+v vs %+v", res1.Faults, res2.Faults)
+	}
+	if res1.Reconstructions != res2.Reconstructions ||
+		res1.AbsorbedWrites != res2.AbsorbedWrites ||
+		res1.RebuildReads != res2.RebuildReads ||
+		res1.Makespan != res2.Makespan {
+		t.Fatal("array degraded-operation counters diverged between identical runs")
+	}
+}

@@ -88,6 +88,7 @@ type flatEvent struct {
 	Seek     int64
 	Service  int64
 	Dropped  bool
+	Faulted  bool
 	QueueLen int
 }
 
@@ -95,7 +96,7 @@ func flatten(ev TraceEvent) flatEvent {
 	return flatEvent{
 		Now: ev.Now, DiskID: ev.DiskID, ReqID: ev.Request.ID,
 		Head: ev.Head, Seek: ev.Seek, Service: ev.Service,
-		Dropped: ev.Dropped, QueueLen: ev.QueueLen,
+		Dropped: ev.Dropped, Faulted: ev.Faulted, QueueLen: ev.QueueLen,
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"sfcsched/internal/core"
 	"sfcsched/internal/disk"
+	"sfcsched/internal/fault"
 	"sfcsched/internal/metrics"
 	"sfcsched/internal/sched"
 	"sfcsched/internal/stats"
@@ -43,6 +44,12 @@ type Options struct {
 	// JSONLTrace adapts an io.Writer into a hook. The hook runs inline with
 	// the simulation; a slow sink slows the run, not the modeled clock.
 	Trace func(TraceEvent)
+	// Fault, when non-nil and non-zero, injects the deterministic fault
+	// plan (transient errors with bounded retry, bad-sector remap, and —
+	// on arrays — whole-disk failure with degraded reads and optional
+	// rebuild). A nil or zero plan leaves the run byte-identical to one
+	// without fault support.
+	Fault *fault.Plan
 }
 
 // Config configures one single-disk simulation run.
@@ -68,6 +75,9 @@ type Result struct {
 	HeadTravel int64
 	// Scheduler echoes the scheduler's name.
 	Scheduler string
+	// Faults snapshots the fault injector's counters; nil when the run
+	// had no (or a zero) fault plan.
+	Faults *fault.Stats
 }
 
 // Run simulates trace (sorted by arrival time) under cfg as a one-station
@@ -97,13 +107,32 @@ func Run(cfg Config, trace []*core.Request) (*Result, error) {
 		RNG:      stats.NewRNG(cfg.Seed),
 		Trace:    cfg.Trace,
 	}
+	if !cfg.Fault.Zero() {
+		if cfg.Fault.FailAt > 0 {
+			return nil, fmt.Errorf("sim: whole-disk failure requires an array run")
+		}
+		cyls := 0
+		if cfg.Disk != nil {
+			cyls = cfg.Disk.Cylinders
+		}
+		inj, err := fault.New(*cfg.Fault, cyls)
+		if err != nil {
+			return nil, err
+		}
+		eng.Faults = inj
+	}
 	col.Makespan = eng.Run(trace, func(r *core.Request, _ int64) {
 		col.OnArrival(r)
 		// Arrivals carry their true timestamps even when they land during
 		// a service window; the head is en route to (then at) the target.
 		st.Enqueue(r, r.Arrival)
 	})
-	return &Result{Collector: col, HeadTravel: st.HeadTravel(), Scheduler: cfg.Scheduler.Name()}, nil
+	res := &Result{Collector: col, HeadTravel: st.HeadTravel(), Scheduler: cfg.Scheduler.Name()}
+	if eng.Faults != nil {
+		fs := eng.Faults.Stats()
+		res.Faults = &fs
+	}
+	return res, nil
 }
 
 // MustRun is Run for static configurations.

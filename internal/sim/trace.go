@@ -30,6 +30,11 @@ type TraceEvent struct {
 	// Dropped marks a §6 deadline drop: the request was dequeued past its
 	// deadline and never occupied the disk.
 	Dropped bool
+	// Faulted marks a fault-injection decision: a failed service attempt.
+	// With Dropped false the request will retry; with Dropped true it was
+	// abandoned (retry budget exhausted or stranded on a failed disk).
+	// Unlike deadline drops, a faulted attempt did occupy the disk.
+	Faulted bool
 	// QueueLen is the number of requests still queued after this decision.
 	QueueLen int
 }
@@ -48,6 +53,7 @@ type traceRecord struct {
 	Seek     int64  `json:"seek,omitempty"`
 	Service  int64  `json:"service,omitempty"`
 	Dropped  bool   `json:"dropped,omitempty"`
+	Faulted  bool   `json:"faulted,omitempty"`
 	Queue    int    `json:"queue"`
 }
 
@@ -76,6 +82,7 @@ func JSONLTrace(w io.Writer) func(TraceEvent) {
 			Seek:     ev.Seek,
 			Service:  ev.Service,
 			Dropped:  ev.Dropped,
+			Faulted:  ev.Faulted,
 			Queue:    ev.QueueLen,
 		}
 		if enc.Encode(rec) != nil {
