@@ -14,6 +14,7 @@ import (
 	"sfcsched/internal/core"
 	"sfcsched/internal/disk"
 	"sfcsched/internal/experiments"
+	"sfcsched/internal/runner"
 	"sfcsched/internal/sched"
 	"sfcsched/internal/sfc"
 	"sfcsched/internal/sim"
@@ -371,24 +372,84 @@ func BenchmarkConcurrentIngressSingleLock(b *testing.B) {
 	})
 }
 
+// BenchmarkSimulatorThroughput is the headline single-worker number: one
+// recycled engine + scheduler replaying an arena-generated trace. The
+// requests/s metric is per core; BenchmarkSweepAggregateThroughput
+// measures the parallel aggregate.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	m := disk.MustModel(disk.QuantumXP32150Params())
+	var arena workload.Arena
 	trace := workload.Open{
 		Seed: 1, Count: 2000, MeanInterarrival: 10_000,
 		Dims: 3, Levels: 8, DeadlineMin: 500_000, DeadlineMax: 700_000,
 		Cylinders: m.Cylinders, Size: 64 << 10,
-	}.MustGenerate()
+	}.MustGenerateArena(&arena)
+	var ru sim.Reuse
+	cscan := sched.NewCSCAN()
+	cfg := sim.Config{
+		Disk: m, Scheduler: cscan, Reuse: &ru,
+		Options: sim.Options{DropLate: true, Seed: 1},
+	}
+	sim.MustRun(cfg, trace) // warm the reused state
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := sim.MustRun(sim.Config{
-			Disk: m, Scheduler: sched.NewCSCAN(),
-			Options: sim.Options{DropLate: true, Seed: 1},
-		}, trace)
-		if res.Arrived != 2000 {
+		if res := sim.MustRun(cfg, trace); res.Arrived != 2000 {
 			b.Fatal("lost requests")
 		}
 	}
 	b.ReportMetric(float64(2000*b.N)/b.Elapsed().Seconds(), "requests/s")
+}
+
+// BenchmarkSweepAggregateThroughput drives a whole sweep grid — one cell
+// per (seed, scheduler), each on its own arena + recycled engine — through
+// the parallel runner and reports aggregate simulated requests/s across
+// all workers. On a multi-core box this is the 10M+ req/s configuration;
+// on a single core it degenerates to the per-core number.
+func BenchmarkSweepAggregateThroughput(b *testing.B) {
+	m := disk.MustModel(disk.QuantumXP32150Params())
+	const cells = 16
+	const count = 2000
+	type cellState struct {
+		ru    sim.Reuse
+		trace []*core.Request
+	}
+	states := make([]*cellState, cells)
+	for i := range states {
+		var arena workload.Arena
+		states[i] = &cellState{trace: workload.Open{
+			Seed: uint64(i + 1), Count: count, MeanInterarrival: 10_000,
+			Dims: 3, Levels: 8, DeadlineMin: 500_000, DeadlineMax: 700_000,
+			Cylinders: m.Cylinders, Size: 64 << 10,
+		}.MustGenerateArena(&arena)}
+	}
+	runCell := func(i int) (uint64, error) {
+		st := states[i]
+		res, err := sim.Run(sim.Config{
+			Disk: m, Scheduler: sched.NewCSCAN(), Reuse: &st.ru,
+			Options: sim.Options{DropLate: true, Seed: uint64(i + 1)},
+		}, st.trace)
+		if err != nil {
+			return 0, err
+		}
+		return res.Arrived, nil
+	}
+	if _, err := runner.Map(0, cells, runCell); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arrived, err := runner.Map(0, cells, runCell)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range arrived {
+			if a != count {
+				b.Fatal("lost requests")
+			}
+		}
+	}
+	b.ReportMetric(float64(cells*count*b.N)/b.Elapsed().Seconds(), "requests/s")
+	b.ReportMetric(float64(runner.Workers(0)), "workers")
 }
 
 // --- Ablation benches: the design choices DESIGN.md calls out ---

@@ -28,6 +28,7 @@ func main() {
 		requests = flag.Int("requests", 0, "override request count (0 = experiment default)")
 		users    = flag.String("users", "", "fig11 only: comma-separated user counts")
 		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers  = flag.Int("workers", 0, "parallel simulation workers for sweep experiments (0 = GOMAXPROCS); output is identical for any value")
 		httpAddr = flag.String("http", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof/ on this address, and stay alive after the experiments finish (e.g. :9090)")
 	)
 	flag.Parse()
@@ -50,14 +51,14 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 	for _, id := range ids {
-		if err := run(os.Stdout, strings.TrimSpace(id), *seed, *requests, *users, *asCSV); err != nil {
+		if err := run(os.Stdout, strings.TrimSpace(id), *seed, *requests, *users, *asCSV, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "schedbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 	}
 }
 
-func run(out io.Writer, id string, seed uint64, requests int, users string, asCSV bool) error {
+func run(out io.Writer, id string, seed uint64, requests int, users string, asCSV bool, workers int) error {
 	render := func(r *experiments.Result) {
 		if asCSV {
 			r.RenderCSV(out)
@@ -69,12 +70,13 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 	case "table1":
 		return experiments.Table1(out)
 	case "ablations":
-		return experiments.Ablations(out, seed)
+		return experiments.Ablations(out, seed, workers)
 	case "micro":
 		return runMicro(out)
 	case "fig5":
 		cfg := experiments.DefaultSFC1Config()
 		cfg.Seed = seed
+		cfg.Workers = workers
 		if requests > 0 {
 			cfg.Requests = requests
 		}
@@ -148,6 +150,7 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 	case "faultsweep":
 		cfg := experiments.DefaultFaultSweepConfig()
 		cfg.Seed = seed
+		cfg.Workers = workers
 		if requests > 0 {
 			cfg.Requests = requests
 		}
@@ -160,6 +163,7 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 	case "fig11", "fig11raid":
 		cfg := experiments.DefaultFig11Config()
 		cfg.Seed = seed
+		cfg.Workers = workers
 		if users != "" {
 			cfg.Users = nil
 			for _, f := range strings.Split(users, ",") {

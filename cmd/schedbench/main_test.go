@@ -8,7 +8,7 @@ import (
 
 func TestRunTable1(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table1", 1, 0, "", false); err != nil {
+	if err := run(&buf, "table1", 1, 0, "", false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "3832") {
@@ -22,7 +22,7 @@ func TestRunEveryExperimentReduced(t *testing.T) {
 	}
 	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
 		var buf bytes.Buffer
-		if err := run(&buf, id, 1, 600, "", false); err != nil {
+		if err := run(&buf, id, 1, 600, "", false, 0); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 		if !strings.Contains(buf.String(), "== "+id) {
@@ -30,7 +30,7 @@ func TestRunEveryExperimentReduced(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "fig11", 1, 0, "68,72", true); err != nil {
+	if err := run(&buf, "fig11", 1, 0, "68,72", true, 2); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -41,10 +41,10 @@ func TestRunEveryExperimentReduced(t *testing.T) {
 
 func TestRunRejectsUnknown(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig99", 1, 0, "", false); err == nil {
+	if err := run(&buf, "fig99", 1, 0, "", false, 0); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
-	if err := run(&buf, "fig11", 1, 0, "abc", false); err == nil {
+	if err := run(&buf, "fig11", 1, 0, "abc", false, 0); err == nil {
 		t.Error("expected error for malformed user list")
 	}
 }

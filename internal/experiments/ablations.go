@@ -7,6 +7,7 @@ import (
 
 	"sfcsched/internal/core"
 	"sfcsched/internal/disk"
+	"sfcsched/internal/runner"
 	"sfcsched/internal/sched"
 	"sfcsched/internal/sfc"
 	"sfcsched/internal/sim"
@@ -15,36 +16,39 @@ import (
 
 // Ablations runs the design-choice experiments DESIGN.md §6 calls out and
 // prints one table per ablation. These are the same comparisons as the
-// Ablation* benchmarks, packaged for the CLI.
-func Ablations(w io.Writer, seed uint64) error {
-	if err := ablationDeadlineMode(w, seed); err != nil {
+// Ablation* benchmarks, packaged for the CLI. The tables print in a fixed
+// order; workers bounds the parallel simulation cells within each
+// ablation (0 = GOMAXPROCS) and does not change any number printed.
+func Ablations(w io.Writer, seed uint64, workers int) error {
+	if err := ablationDeadlineMode(w, seed, workers); err != nil {
 		return err
 	}
-	if err := ablationSP(w, seed); err != nil {
+	if err := ablationSP(w, seed, workers); err != nil {
 		return err
 	}
 	if err := ablationER(w); err != nil {
 		return err
 	}
-	if err := ablationWindow(w, seed); err != nil {
+	if err := ablationWindow(w, seed, workers); err != nil {
 		return err
 	}
-	return ablationCascadeVsSingle(w, seed)
+	return ablationCascadeVsSingle(w, seed, workers)
 }
 
 // ablationCascadeVsSingle compares the three-stage cascade against the
 // predecessor single-curve design (the paper's reference [2]): one
 // Hilbert curve over (priorities, deadline, cylinder) as equal axes.
-func ablationCascadeVsSingle(w io.Writer, seed uint64) error {
+func ablationCascadeVsSingle(w io.Writer, seed uint64, workers int) error {
 	m, err := disk.NewModel(disk.QuantumXP32150Params())
 	if err != nil {
 		return err
 	}
+	var arena workload.Arena
 	trace, err := workload.Open{
 		Seed: seed, Count: 5000, MeanInterarrival: 13_000,
 		Dims: 2, Levels: 8, DeadlineMin: 500_000, DeadlineMax: 700_000,
 		Cylinders: m.Cylinders, SizeMin: 4 << 10, SizeMax: 256 << 10,
-	}.Generate()
+	}.GenerateArena(&arena)
 	if err != nil {
 		return err
 	}
@@ -66,22 +70,27 @@ func ablationCascadeVsSingle(w io.Writer, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	rows := [][]string{{"design", "deadline misses", "inversions", "seek (s)"}}
-	for _, s := range []sched.Scheduler{cascaded, single} {
-		res, err := sim.Run(sim.Config{
-			Disk: m, Scheduler: s,
+	scheds := []sched.Scheduler{cascaded, single}
+	cells, err := runner.Map(workers, len(scheds), func(i int) ([]string, error) {
+		var row []string
+		err := runReused(sim.Config{
+			Disk: m, Scheduler: scheds[i],
 			Options: sim.Options{DropLate: true, Dims: 2, Levels: 8, Seed: seed},
-		}, trace)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, []string{
-			s.Name(),
-			fmt.Sprintf("%d", res.TotalMisses()),
-			fmt.Sprintf("%d", res.TotalInversions()),
-			fmt.Sprintf("%.1f", float64(res.SeekTime)/1e6),
+		}, trace, func(res *sim.Result) error {
+			row = []string{
+				scheds[i].Name(),
+				fmt.Sprintf("%d", res.TotalMisses()),
+				fmt.Sprintf("%d", res.TotalInversions()),
+				fmt.Sprintf("%.1f", float64(res.SeekTime)/1e6),
+			}
+			return nil
 		})
+		return row, err
+	})
+	if err != nil {
+		return err
 	}
+	rows := append([][]string{{"design", "deadline misses", "inversions", "seek (s)"}}, cells...)
 	fmt.Fprintln(w, "== ablation: three-stage cascade vs single (D+2)-dim curve [ref 2] ==")
 	writeAligned(w, rows)
 	fmt.Fprintln(w, "   note: a single curve cannot give the deadline axis EDF semantics or")
@@ -93,41 +102,39 @@ func ablationCascadeVsSingle(w io.Writer, seed uint64) error {
 
 // ablationDeadlineMode compares the absolute deadline axis against the
 // slack-at-enqueue ablation.
-func ablationDeadlineMode(w io.Writer, seed uint64) error {
+func ablationDeadlineMode(w io.Writer, seed uint64, workers int) error {
+	var arena workload.Arena
 	trace, err := workload.Open{
 		Seed: seed, Count: 4000, MeanInterarrival: 25_000,
 		Dims: 1, Levels: 8, DeadlineMin: 500_000, DeadlineMax: 700_000,
-	}.Generate()
+	}.GenerateArena(&arena)
 	if err != nil {
 		return err
 	}
-	run := func(slack bool) (uint64, error) {
+	misses, err := runner.Map(workers, 2, func(i int) (uint64, error) {
 		s, err := core.NewScheduler("x", core.EncapsulatorConfig{
 			Levels: 8, UseDeadline: true, F: math.Inf(1), Tie: core.TiePriority,
-			DeadlineHorizon: 210_000_000, DeadlineSpan: 700_000, DeadlineSlack: slack,
+			DeadlineHorizon: 210_000_000, DeadlineSpan: 700_000, DeadlineSlack: i == 1,
 		}, core.DispatcherConfig{Mode: core.FullyPreemptive}, 0)
 		if err != nil {
 			return 0, err
 		}
-		res, err := sim.Run(sim.Config{Scheduler: s, FixedService: 24_000, Options: sim.Options{DropLate: true, Seed: seed}}, trace)
-		if err != nil {
-			return 0, err
-		}
-		return res.TotalMisses(), nil
-	}
-	abs, err := run(false)
-	if err != nil {
-		return err
-	}
-	slack, err := run(true)
+		var m uint64
+		err = runReused(sim.Config{Scheduler: s, FixedService: 24_000, Options: sim.Options{DropLate: true, Seed: seed}},
+			trace, func(res *sim.Result) error {
+				m = res.TotalMisses()
+				return nil
+			})
+		return m, err
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "== ablation: deadline axis (absolute vs slack-at-enqueue) ==")
 	writeAligned(w, [][]string{
 		{"axis", "deadline misses"},
-		{"absolute (default)", fmt.Sprintf("%d", abs)},
-		{"slack at enqueue", fmt.Sprintf("%d", slack)},
+		{"absolute (default)", fmt.Sprintf("%d", misses[0])},
+		{"slack at enqueue", fmt.Sprintf("%d", misses[1])},
 	})
 	fmt.Fprintln(w, "   note: slack values computed at different arrival times are mutually")
 	fmt.Fprintln(w, "   note: skewed by the arrival gap, which starves old requests under load")
@@ -136,45 +143,42 @@ func ablationDeadlineMode(w io.Writer, seed uint64) error {
 }
 
 // ablationSP compares the Serve-and-Promote policy on and off.
-func ablationSP(w io.Writer, seed uint64) error {
+func ablationSP(w io.Writer, seed uint64, workers int) error {
+	var arena workload.Arena
 	trace, err := workload.Open{
 		Seed: seed, Count: 4000, MeanInterarrival: 25_000, Dims: 4, Levels: 16,
-	}.Generate()
+	}.GenerateArena(&arena)
 	if err != nil {
 		return err
 	}
-	run := func(sp bool) (uint64, error) {
+	inv, err := runner.Map(workers, 2, func(i int) (uint64, error) {
 		cv, err := sfc.New("peano", 4, 16)
 		if err != nil {
 			return 0, err
 		}
 		s, err := core.NewScheduler("x", core.EncapsulatorConfig{Curve1: cv, Levels: 16},
-			core.DispatcherConfig{Mode: core.ConditionallyPreemptive, SP: sp}, 0.05)
+			core.DispatcherConfig{Mode: core.ConditionallyPreemptive, SP: i == 0}, 0.05)
 		if err != nil {
 			return 0, err
 		}
-		res, err := sim.Run(sim.Config{
+		var v uint64
+		err = runReused(sim.Config{
 			Scheduler: s, FixedService: 24_000,
 			Options: sim.Options{Dims: 4, Levels: 16, Seed: seed},
-		}, trace)
-		if err != nil {
-			return 0, err
-		}
-		return res.TotalInversions(), nil
-	}
-	with, err := run(true)
-	if err != nil {
-		return err
-	}
-	without, err := run(false)
+		}, trace, func(res *sim.Result) error {
+			v = res.TotalInversions()
+			return nil
+		})
+		return v, err
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "== ablation: Serve-and-Promote (SP) at window 5% ==")
 	writeAligned(w, [][]string{
 		{"policy", "priority inversions"},
-		{"SP on", fmt.Sprintf("%d", with)},
-		{"SP off", fmt.Sprintf("%d", without)},
+		{"SP on", fmt.Sprintf("%d", inv[0])},
+		{"SP off", fmt.Sprintf("%d", inv[1])},
 	})
 	fmt.Fprintln(w)
 	return nil
@@ -215,38 +219,44 @@ func ablationER(w io.Writer) error {
 
 // ablationWindow sweeps the blocking window and reports preemption
 // pressure.
-func ablationWindow(w io.Writer, seed uint64) error {
+func ablationWindow(w io.Writer, seed uint64, workers int) error {
+	var arena workload.Arena
 	trace, err := workload.Open{
 		Seed: seed, Count: 3000, MeanInterarrival: 25_000, Dims: 4, Levels: 16,
-	}.Generate()
+	}.GenerateArena(&arena)
 	if err != nil {
 		return err
 	}
-	rows := [][]string{{"window", "preemptions+promotions", "inversions"}}
-	for _, frac := range []float64{0, 0.02, 0.05, 0.2, 0.5} {
+	fracs := []float64{0, 0.02, 0.05, 0.2, 0.5}
+	cells, err := runner.Map(workers, len(fracs), func(i int) ([]string, error) {
 		cv, err := sfc.New("peano", 4, 16)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		s, err := core.NewScheduler("x", core.EncapsulatorConfig{Curve1: cv, Levels: 16},
-			core.DispatcherConfig{Mode: core.ConditionallyPreemptive, SP: true}, frac)
+			core.DispatcherConfig{Mode: core.ConditionallyPreemptive, SP: true}, fracs[i])
 		if err != nil {
-			return err
+			return nil, err
 		}
-		res, err := sim.Run(sim.Config{
+		var row []string
+		err = runReused(sim.Config{
 			Scheduler: s, FixedService: 24_000,
 			Options: sim.Options{Dims: 4, Levels: 16, Seed: seed},
-		}, trace)
-		if err != nil {
-			return err
-		}
-		st := s.Dispatcher().Stats()
-		rows = append(rows, []string{
-			fmt.Sprintf("%.0f%%", frac*100),
-			fmt.Sprintf("%d", st.Preemptions+st.Promotions),
-			fmt.Sprintf("%d", res.TotalInversions()),
+		}, trace, func(res *sim.Result) error {
+			st := s.Dispatcher().Stats()
+			row = []string{
+				fmt.Sprintf("%.0f%%", fracs[i]*100),
+				fmt.Sprintf("%d", st.Preemptions+st.Promotions),
+				fmt.Sprintf("%d", res.TotalInversions()),
+			}
+			return nil
 		})
+		return row, err
+	})
+	if err != nil {
+		return err
 	}
+	rows := append([][]string{{"window", "preemptions+promotions", "inversions"}}, cells...)
 	fmt.Fprintln(w, "== ablation: blocking window size (peano SFC1, 4 dims) ==")
 	writeAligned(w, rows)
 	fmt.Fprintln(w)

@@ -327,7 +327,7 @@ func TestFig11RAIDShape(t *testing.T) {
 
 func TestAblationsRender(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Ablations(&buf, 1); err != nil {
+	if err := Ablations(&buf, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -6,6 +6,7 @@ import (
 	"sfcsched/internal/core"
 	"sfcsched/internal/disk"
 	"sfcsched/internal/fault"
+	"sfcsched/internal/runner"
 	"sfcsched/internal/sched"
 	"sfcsched/internal/sfc"
 	"sfcsched/internal/sim"
@@ -46,6 +47,9 @@ type FaultSweepConfig struct {
 	Rebuild         bool
 	RebuildBlocks   int
 	RebuildInterval int64
+	// Workers bounds the parallel sweep cells (0 = GOMAXPROCS). The
+	// results are identical for every worker count; see internal/runner.
+	Workers int
 }
 
 // DefaultFaultSweepConfig returns a sweep that crosses the array's
@@ -143,6 +147,7 @@ func FaultSweep(cfg FaultSweepConfig) (*Result, *Result, error) {
 		X:      append([]float64(nil), cfg.Rates...),
 	}
 
+	var arena workload.Arena
 	trace, err := workload.Open{
 		Seed:             cfg.Seed,
 		Count:            cfg.Requests,
@@ -155,14 +160,13 @@ func FaultSweep(cfg FaultSweepConfig) (*Result, *Result, error) {
 		SizeMin:          cfg.BlockSize,
 		SizeMax:          cfg.BlockSize,
 		WriteFrac:        cfg.WriteFrac,
-	}.Generate()
+	}.GenerateArena(&arena)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	dropYs := map[string][]float64{}
-	faultYs := map[string][]float64{}
-	for _, rate := range cfg.Rates {
+	plans := make([]*fault.Plan, len(cfg.Rates))
+	for i, rate := range cfg.Rates {
 		plan := &fault.Plan{
 			Seed:          cfg.Seed,
 			TransientRate: rate,
@@ -176,28 +180,48 @@ func FaultSweep(cfg FaultSweepConfig) (*Result, *Result, error) {
 			plan.RebuildBlocks = cfg.RebuildBlocks
 			plan.RebuildInterval = cfg.RebuildInterval
 		}
-		for _, name := range names {
-			ar, err := sim.RunArray(sim.ArrayConfig{
-				Array: array,
-				NewScheduler: func(int) (sched.Scheduler, error) {
-					return algs[name]()
-				},
-				Options: sim.Options{
-					DropLate: true, Dims: 1, Levels: cfg.Levels,
-					Seed: cfg.Seed, Fault: plan,
-				},
-			}, trace)
-			if err != nil {
-				return nil, nil, err
-			}
-			total := ar.Logical.Served + ar.Logical.Dropped
-			dropYs[name] = append(dropYs[name], percent(float64(ar.Logical.Dropped), float64(total)))
-			var fdrop uint64
-			for _, c := range ar.PerDisk {
-				fdrop += c.FaultDropped
-			}
-			faultYs[name] = append(faultYs[name], float64(fdrop))
+		plans[i] = plan
+	}
+
+	// One cell per (rate, scheduler), rate-major like the sequential loop
+	// this replaces. Cells share only read-only inputs (trace, array,
+	// plans); each RunArray builds its own schedulers and collectors.
+	type cellOut struct{ drop, faultShare float64 }
+	nAlg := len(names)
+	cells, err := runner.Map(cfg.Workers, len(cfg.Rates)*nAlg, func(i int) (cellOut, error) {
+		name := names[i%nAlg]
+		ar, err := sim.RunArray(sim.ArrayConfig{
+			Array: array,
+			NewScheduler: func(int) (sched.Scheduler, error) {
+				return algs[name]()
+			},
+			Options: sim.Options{
+				DropLate: true, Dims: 1, Levels: cfg.Levels,
+				Seed: cfg.Seed, Fault: plans[i/nAlg],
+			},
+		}, trace)
+		if err != nil {
+			return cellOut{}, err
 		}
+		total := ar.Logical.Served + ar.Logical.Dropped
+		var fdrop uint64
+		for _, c := range ar.PerDisk {
+			fdrop += c.FaultDropped
+		}
+		return cellOut{
+			drop:       percent(float64(ar.Logical.Dropped), float64(total)),
+			faultShare: float64(fdrop),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	dropYs := map[string][]float64{}
+	faultYs := map[string][]float64{}
+	for i, c := range cells {
+		name := names[i%nAlg]
+		dropYs[name] = append(dropYs[name], c.drop)
+		faultYs[name] = append(faultYs[name], c.faultShare)
 	}
 	for _, name := range names {
 		if err := drops.AddSeries(name, dropYs[name]); err != nil {

@@ -6,6 +6,7 @@ import (
 	"sfcsched/internal/core"
 	"sfcsched/internal/disk"
 	"sfcsched/internal/metrics"
+	"sfcsched/internal/runner"
 	"sfcsched/internal/sched"
 	"sfcsched/internal/sfc"
 	"sfcsched/internal/sim"
@@ -39,6 +40,9 @@ type Fig11Config struct {
 	WriteFrac float64
 	// CostRatio is the highest:lowest loss-weight ratio (paper: 11).
 	CostRatio float64
+	// Workers bounds the parallel sweep cells (0 = GOMAXPROCS). The
+	// results are identical for every worker count; see internal/runner.
+	Workers int
 }
 
 // DefaultFig11Config returns the §6 parameters with the documented
@@ -127,9 +131,12 @@ func Fig11(cfg Fig11Config) (*Result, error) {
 			"bitrate scaled from the paper's 1.5 Mbps so one simulated disk spans the same load band as the PanaViss RAID (see DESIGN.md)",
 		},
 	}
-	ys := map[string][]float64{}
-	for _, users := range cfg.Users {
-		trace, err := workload.Streams{
+	// Traces are generated up front (into per-point arenas kept alive
+	// below), then shared read-only by every cell of their sweep point.
+	arenas := make([]workload.Arena, len(cfg.Users))
+	traces := make([][]*core.Request, len(cfg.Users))
+	for i, users := range cfg.Users {
+		traces[i], err = workload.Streams{
 			Seed:        cfg.Seed,
 			Users:       users,
 			Duration:    cfg.Duration,
@@ -141,31 +148,38 @@ func Fig11(cfg Fig11Config) (*Result, error) {
 			Cylinders:   m.Cylinders,
 			WriteFrac:   cfg.WriteFrac,
 			Burst:       3,
-		}.Generate()
+		}.GenerateArena(&arenas[i])
 		if err != nil {
 			return nil, err
 		}
-		for _, name := range names {
-			s, err := algs[name]()
-			if err != nil {
-				return nil, err
-			}
-			r, err := sim.Run(sim.Config{
-				Disk: m, Scheduler: s,
-				Options: sim.Options{DropLate: true, Dims: 1, Levels: cfg.Levels, Seed: cfg.Seed},
-			}, trace)
-			if err != nil {
-				return nil, err
-			}
-			cost, err := r.WeightedLossCost(0, weights)
-			if err != nil {
-				return nil, err
-			}
-			ys[name] = append(ys[name], cost)
-		}
 	}
-	for _, name := range names {
-		if err := res.AddSeries(name, ys[name]); err != nil {
+	// One cell per (users, scheduler), users-major like the sequential
+	// loop this replaces.
+	nAlg := len(names)
+	costs, err := runner.Map(cfg.Workers, len(cfg.Users)*nAlg, func(i int) (float64, error) {
+		s, err := algs[names[i%nAlg]]()
+		if err != nil {
+			return 0, err
+		}
+		var cost float64
+		err = runReused(sim.Config{
+			Disk: m, Scheduler: s,
+			Options: sim.Options{DropLate: true, Dims: 1, Levels: cfg.Levels, Seed: cfg.Seed},
+		}, traces[i/nAlg], func(r *sim.Result) error {
+			cost, err = r.WeightedLossCost(0, weights)
+			return err
+		})
+		return cost, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, name := range names {
+		ys := make([]float64, len(cfg.Users))
+		for u := range cfg.Users {
+			ys[u] = costs[u*nAlg+j]
+		}
+		if err := res.AddSeries(name, ys); err != nil {
 			return nil, err
 		}
 	}

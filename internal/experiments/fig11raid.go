@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 
+	"sfcsched/internal/core"
 	"sfcsched/internal/disk"
 	"sfcsched/internal/metrics"
+	"sfcsched/internal/runner"
 	"sfcsched/internal/sched"
 	"sfcsched/internal/sim"
 	"sfcsched/internal/workload"
@@ -50,9 +52,12 @@ func Fig11RAID(cfg Fig11Config) (*Result, error) {
 		},
 	}
 	blockSpace := int(array.MaxBlocks() / 4)
-	ys := map[string][]float64{}
-	for _, users := range cfg.Users {
-		trace, err := workload.Streams{
+	// Traces are generated up front (into per-point arenas kept alive
+	// below), then shared read-only by every cell of their sweep point.
+	arenas := make([]workload.Arena, len(cfg.Users))
+	traces := make([][]*core.Request, len(cfg.Users))
+	for i, users := range cfg.Users {
+		traces[i], err = workload.Streams{
 			Seed:        cfg.Seed,
 			Users:       users,
 			Duration:    cfg.Duration,
@@ -64,30 +69,37 @@ func Fig11RAID(cfg Fig11Config) (*Result, error) {
 			Cylinders:   blockSpace, // logical block address space
 			WriteFrac:   cfg.WriteFrac,
 			Burst:       3,
-		}.Generate()
+		}.GenerateArena(&arenas[i])
 		if err != nil {
 			return nil, err
 		}
-		for _, name := range names {
-			ar, err := sim.RunArray(sim.ArrayConfig{
-				Array: array,
-				NewScheduler: func(int) (sched.Scheduler, error) {
-					return algs[name]()
-				},
-				Options: sim.Options{DropLate: true, Dims: 1, Levels: cfg.Levels, Seed: cfg.Seed},
-			}, trace)
-			if err != nil {
-				return nil, err
-			}
-			cost, err := ar.Logical.WeightedLossCost(0, weights)
-			if err != nil {
-				return nil, err
-			}
-			ys[name] = append(ys[name], cost)
-		}
 	}
-	for _, name := range names {
-		if err := res.AddSeries(name, ys[name]); err != nil {
+	// One cell per (users, scheduler), users-major like the sequential
+	// loop this replaces.
+	nAlg := len(names)
+	costs, err := runner.Map(cfg.Workers, len(cfg.Users)*nAlg, func(i int) (float64, error) {
+		name := names[i%nAlg]
+		ar, err := sim.RunArray(sim.ArrayConfig{
+			Array: array,
+			NewScheduler: func(int) (sched.Scheduler, error) {
+				return algs[name]()
+			},
+			Options: sim.Options{DropLate: true, Dims: 1, Levels: cfg.Levels, Seed: cfg.Seed},
+		}, traces[i/nAlg])
+		if err != nil {
+			return 0, err
+		}
+		return ar.Logical.WeightedLossCost(0, weights)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, name := range names {
+		ys := make([]float64, len(cfg.Users))
+		for u := range cfg.Users {
+			ys[u] = costs[u*nAlg+j]
+		}
+		if err := res.AddSeries(name, ys); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"sync"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/sim"
+)
+
+// reusePool hands sweep cells recycled per-run simulator state (event
+// heap, collector, RNG — see sim.Reuse). Pooling instead of one Reuse per
+// cell keeps the working set at one Reuse per live worker while letting
+// any cell run on any worker.
+var reusePool = sync.Pool{New: func() any { return new(sim.Reuse) }}
+
+// runReused runs cfg over trace through a pooled sim.Reuse and hands the
+// result to extract. The result is only valid inside extract: once
+// runReused returns, the Reuse is back in the pool and another cell may
+// reset the collector the result points at — extract must copy out every
+// scalar the caller needs.
+func runReused(cfg sim.Config, trace []*core.Request, extract func(*sim.Result) error) error {
+	ru := reusePool.Get().(*sim.Reuse)
+	cfg.Reuse = ru
+	res, err := sim.Run(cfg, trace)
+	if err == nil {
+		err = extract(res)
+	}
+	reusePool.Put(ru)
+	return err
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The parallel sweep runner must be invisible in the output: every
+// experiment's rendered CSV — the exact bytes golden tests and downstream
+// plots consume — must be identical for any worker count. Running these
+// under -race (the CI race job covers ./internal/...) also checks the
+// cells' share-nothing premise.
+
+func faultSweepCSV(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg := smallFaultSweep()
+	cfg.Workers = workers
+	drops, fdrops, err := FaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	drops.RenderCSV(&buf)
+	fdrops.RenderCSV(&buf)
+	return buf.Bytes()
+}
+
+func TestFaultSweepIdenticalAcrossWorkers(t *testing.T) {
+	want := faultSweepCSV(t, 1)
+	for _, w := range []int{2, 8} {
+		if got := faultSweepCSV(t, w); !bytes.Equal(got, want) {
+			t.Errorf("fault sweep CSV diverges at workers=%d:\nworkers=1:\n%s\nworkers=%d:\n%s",
+				w, want, w, got)
+		}
+	}
+}
+
+func fig11RaidCSV(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg := DefaultFig11Config()
+	cfg.Users = []int{68, 76, 84}
+	cfg.Duration = 8_000_000
+	cfg.Workers = workers
+	res, err := Fig11RAID(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.RenderCSV(&buf)
+	return buf.Bytes()
+}
+
+func TestFig11RAIDIdenticalAcrossWorkers(t *testing.T) {
+	want := fig11RaidCSV(t, 1)
+	for _, w := range []int{2, 8} {
+		if got := fig11RaidCSV(t, w); !bytes.Equal(got, want) {
+			t.Errorf("fig11raid CSV diverges at workers=%d:\nworkers=1:\n%s\nworkers=%d:\n%s",
+				w, want, w, got)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sfcsched/internal/core"
+	"sfcsched/internal/runner"
 	"sfcsched/internal/sched"
 	"sfcsched/internal/sfc"
 	"sfcsched/internal/sim"
@@ -25,6 +26,9 @@ type SFC1Config struct {
 	// paper holds it implicit; near the interarrival mean keeps a live
 	// queue without unbounded growth.
 	Service int64
+	// Workers bounds the parallel sweep cells (0 = GOMAXPROCS). The
+	// results are identical for every worker count; see internal/runner.
+	Workers int
 }
 
 // DefaultSFC1Config returns the §5.1 parameters.
@@ -39,24 +43,30 @@ func DefaultSFC1Config() SFC1Config {
 	}
 }
 
-// trace generates the experiment's workload.
-func (c SFC1Config) trace() ([]*core.Request, error) {
+// trace generates the experiment's workload into a (an optional) arena.
+func (c SFC1Config) trace(a *workload.Arena) ([]*core.Request, error) {
 	return workload.Open{
 		Seed:             c.Seed,
 		Count:            c.Requests,
 		MeanInterarrival: c.MeanInterarrival,
 		Dims:             c.Dims,
 		Levels:           c.Levels,
-	}.Generate()
+	}.GenerateArena(a)
 }
 
-// run simulates one scheduler over the stage-1 workload.
-func (c SFC1Config) run(s sched.Scheduler, trace []*core.Request) (*sim.Result, error) {
-	return sim.Run(sim.Config{
+// simConfig is the stage-1 simulation configuration for scheduler s.
+func (c SFC1Config) simConfig(s sched.Scheduler) sim.Config {
+	return sim.Config{
 		Scheduler:    s,
 		FixedService: c.Service,
 		Options:      sim.Options{Dims: c.Dims, Levels: c.Levels, Seed: c.Seed},
-	}, trace)
+	}
+}
+
+// run simulates one scheduler over the stage-1 workload. The result is
+// freshly allocated and stays valid indefinitely (unlike runReused).
+func (c SFC1Config) run(s sched.Scheduler, trace []*core.Request) (*sim.Result, error) {
+	return sim.Run(c.simConfig(s), trace)
 }
 
 // scheduler builds the Cascaded-SFC scheduler reduced to SFC1 only.
@@ -79,10 +89,14 @@ func Fig5(cfg SFC1Config, windowsPct []float64) (*Result, error) {
 	if len(windowsPct) == 0 {
 		windowsPct = []float64{0, 1, 2, 5, 10, 20, 40, 60, 80, 100}
 	}
-	trace, err := cfg.trace()
+	var arena workload.Arena
+	trace, err := cfg.trace(&arena)
 	if err != nil {
 		return nil, err
 	}
+	// The FIFO baseline runs first (and un-reused — cells read base while
+	// it is retained); the (curve, window) grid then fans out, each cell
+	// with its own scheduler and pooled per-run state.
 	fifo, err := cfg.run(sched.NewFCFS(), trace)
 	if err != nil {
 		return nil, err
@@ -100,20 +114,25 @@ func Fig5(cfg SFC1Config, windowsPct []float64) (*Result, error) {
 			fmt.Sprintf("FIFO baseline inversions: %.0f", base),
 		},
 	}
-	for _, curve := range sfc.PaperNames() {
-		ys := make([]float64, len(windowsPct))
-		for i, wp := range windowsPct {
-			s, err := cfg.scheduler(curve, cfg.Dims, wp/100)
-			if err != nil {
-				return nil, err
-			}
-			r, err := cfg.run(s, trace)
-			if err != nil {
-				return nil, err
-			}
-			ys[i] = percent(float64(r.TotalInversions()), base)
+	curves := sfc.PaperNames()
+	nW := len(windowsPct)
+	ys, err := runner.Map(cfg.Workers, len(curves)*nW, func(i int) (float64, error) {
+		s, err := cfg.scheduler(curves[i/nW], cfg.Dims, windowsPct[i%nW]/100)
+		if err != nil {
+			return 0, err
 		}
-		if err := res.AddSeries(curve, ys); err != nil {
+		var y float64
+		err = runReused(cfg.simConfig(s), trace, func(r *sim.Result) error {
+			y = percent(float64(r.TotalInversions()), base)
+			return nil
+		})
+		return y, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, curve := range curves {
+		if err := res.AddSeries(curve, ys[j*nW:(j+1)*nW]); err != nil {
 			return nil, err
 		}
 	}
@@ -142,11 +161,14 @@ func Fig6(cfg SFC1Config, dims []float64, windowFrac float64) (*Result, error) {
 	}
 	type key struct{ curve string }
 	ys := map[key][]float64{}
+	var arena workload.Arena
 	for _, df := range dims {
 		d := int(df)
 		dcfg := cfg
 		dcfg.Dims = d
-		trace, err := dcfg.trace()
+		// Each dimension count regenerates into the same arena: every run
+		// of the previous point has finished by then.
+		trace, err := dcfg.trace(&arena)
 		if err != nil {
 			return nil, err
 		}
@@ -183,7 +205,8 @@ func Fig7(cfg SFC1Config, windowsPct []float64) (a, b *Result, err error) {
 	if len(windowsPct) == 0 {
 		windowsPct = []float64{0, 1, 2, 5, 10, 20, 40, 60, 80, 100}
 	}
-	trace, err := cfg.trace()
+	var arena workload.Arena
+	trace, err := cfg.trace(&arena)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"sync"
 
 	"sfcsched/internal/core"
 	"sfcsched/internal/stats"
@@ -72,6 +73,22 @@ func NewCollector(dims, levels int) *Collector {
 	return c
 }
 
+// Reset clears every counter in place, retaining the per-dimension slices
+// and the waiting-time sample buffer, so a collector can be recycled
+// across runs (sim.Reuse) instead of reallocated. The dims/levels shape is
+// unchanged; a run needing a different shape needs a new collector.
+func (c *Collector) Reset() {
+	clear(c.InversionsPerDim)
+	for k := range c.MissesPerDimLevel {
+		clear(c.MissesPerDimLevel[k])
+		clear(c.RequestsPerDimLevel[k])
+	}
+	c.Arrived, c.Served, c.Dropped, c.Late = 0, 0, 0, 0
+	c.FaultAttempts, c.FaultDropped = 0, 0
+	c.SeekTime, c.ServiceTime, c.Makespan = 0, 0, 0
+	c.WaitingTimes.Reset()
+}
+
 // Dims returns the number of tracked priority dimensions.
 func (c *Collector) Dims() int { return c.dims }
 
@@ -97,6 +114,30 @@ func (c *Collector) OnArrival(r *core.Request) {
 	}
 }
 
+// dispatchVisitor is a reusable binding of (collector, dispatched request)
+// for the OnDispatch queue walk. A closure literal capturing them would be
+// heap-allocated on every dispatch — the simulator's dominant allocation —
+// so the closure is built once per pooled visitor (capturing only the
+// visitor itself) and rebound through the struct fields.
+type dispatchVisitor struct {
+	c     *Collector
+	r     *core.Request
+	visit func(*core.Request)
+}
+
+var visitorPool = sync.Pool{New: func() any {
+	v := &dispatchVisitor{}
+	v.visit = func(w *core.Request) {
+		c, r := v.c, v.r
+		for k := 0; k < c.dims && k < len(w.Priorities) && k < len(r.Priorities); k++ {
+			if w.Priorities[k] < r.Priorities[k] {
+				c.InversionsPerDim[k]++
+			}
+		}
+	}
+	return v
+}}
+
 // OnDispatch records the dispatch of r while the requests visited by
 // pending are still queued; it accumulates the per-dimension priority
 // inversions caused by serving r ahead of them.
@@ -104,13 +145,11 @@ func (c *Collector) OnDispatch(r *core.Request, pending func(func(*core.Request)
 	if c.dims == 0 {
 		return
 	}
-	pending(func(w *core.Request) {
-		for k := 0; k < c.dims && k < len(w.Priorities) && k < len(r.Priorities); k++ {
-			if w.Priorities[k] < r.Priorities[k] {
-				c.InversionsPerDim[k]++
-			}
-		}
-	})
+	v := visitorPool.Get().(*dispatchVisitor)
+	v.c, v.r = c, r
+	pending(v.visit)
+	v.c, v.r = nil, nil
+	visitorPool.Put(v)
 }
 
 // OnServed records a completed service.

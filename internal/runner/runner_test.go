@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-5) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// Every worker count must produce the same index-ordered result slice.
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	const n = 100
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		got, err := Map(w, n, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results", w, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapSingleWorkerIsSequential(t *testing.T) {
+	var order []int
+	_, err := Map(1, 5, func(i int) (int, error) {
+		order = append(order, i) // safe: no goroutines with one worker
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker order = %v, want ascending", order)
+		}
+	}
+}
+
+// The reported error is the lowest-indexed one, no matter which cell
+// finishes (or fails) first under parallel scheduling.
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	errLow := errors.New("cell 3")
+	for _, w := range []int{1, 8} {
+		_, err := Map(w, 10, func(i int) (int, error) {
+			if i == 3 {
+				return 0, errLow
+			}
+			if i >= 7 {
+				return 0, fmt.Errorf("cell %d", i)
+			}
+			return i, nil
+		})
+		if err != errLow {
+			t.Errorf("workers=%d: err = %v, want %v", w, err, errLow)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(i int) (int, error) {
+		t.Error("fn called for n=0")
+		return 0, nil
+	})
+	if got != nil || err != nil {
+		t.Errorf("Map(_, 0, _) = %v, %v", got, err)
+	}
+}
+
+// Each cell runs exactly once even when workers far outnumber cells.
+func TestMapRunsEachCellOnce(t *testing.T) {
+	const n = 7
+	var counts [n]atomic.Int32
+	if _, err := Map(32, n, func(i int) (int, error) {
+		counts[i].Add(1)
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Errorf("cell %d ran %d times", i, c)
+		}
+	}
+}

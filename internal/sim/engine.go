@@ -139,6 +139,10 @@ func (h *eventHeap) pop() event {
 	top := s[0]
 	last := len(s) - 1
 	s[0] = s[last]
+	// Zero the vacated tail slot: a popped timer's fn closure and station
+	// pointer must not stay reachable through the slice's spare capacity
+	// until the slot happens to be overwritten (mirrors queue.removeAt).
+	s[last] = event{}
 	s = s[:last]
 	*h = s
 	for i := 0; ; {
@@ -207,6 +211,19 @@ type Engine struct {
 
 // Now returns the engine clock, µs.
 func (e *Engine) Now() int64 { return e.now }
+
+// Reset returns the engine to its pre-run state while keeping the event
+// heap's capacity, so a recycled engine's next run pushes events into the
+// memory the previous run grew (sim.Reuse). Configuration fields
+// (Stations, hooks, RNG, …) are the caller's to reassign.
+func (e *Engine) Reset() {
+	for i := range e.events {
+		e.events[i] = event{}
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.timerSeq = 0
+}
 
 // At schedules fn to run at time t (e.g. a planned disk failure or a
 // retry re-enqueue). At equal times timers run after completions and

@@ -3,15 +3,20 @@ package sim
 // FuzzEngineDeterminism: two runs with identical Options + seed + fault
 // plan must produce byte-identical TraceEvent streams, collectors and
 // fault metrics — the replay-identity guarantee behind every golden test
-// and the failure-replay harness, extended over the fault path.
+// and the failure-replay harness, extended over the fault path. A third
+// arm replays the same run in parallel cells (fuzzed worker count, each
+// cell on its own Reuse) and demands the identical event stream from
+// every cell.
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
 	"sfcsched/internal/core"
 	"sfcsched/internal/disk"
 	"sfcsched/internal/fault"
+	"sfcsched/internal/runner"
 	"sfcsched/internal/sched"
 	"sfcsched/internal/workload"
 )
@@ -44,12 +49,12 @@ func fuzzPlan(seed uint64, rateB, failB byte, array bool) *fault.Plan {
 }
 
 func FuzzEngineDeterminism(f *testing.F) {
-	f.Add(uint64(1), uint16(120), byte(10), byte(0), false, false)
-	f.Add(uint64(7), uint16(200), byte(25), byte(3), true, false)
-	f.Add(uint64(3), uint16(150), byte(5), byte(7), true, true)
-	f.Add(uint64(11), uint16(90), byte(0), byte(4), false, true)
-	f.Add(uint64(42), uint16(250), byte(31), byte(6), true, true)
-	f.Fuzz(func(t *testing.T, seed uint64, n uint16, rateB, failB byte, drop, array bool) {
+	f.Add(uint64(1), uint16(120), byte(10), byte(0), false, false, byte(0))
+	f.Add(uint64(7), uint16(200), byte(25), byte(3), true, false, byte(2))
+	f.Add(uint64(3), uint16(150), byte(5), byte(7), true, true, byte(8))
+	f.Add(uint64(11), uint16(90), byte(0), byte(4), false, true, byte(1))
+	f.Add(uint64(42), uint16(250), byte(31), byte(6), true, true, byte(5))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, rateB, failB byte, drop, array bool, workersB byte) {
 		m := disk.MustModel(disk.QuantumXP32150Params())
 		count := 50 + int(n)%250
 		if array {
@@ -87,6 +92,37 @@ func FuzzEngineDeterminism(f *testing.F) {
 		}
 		if res1.HeadTravel != res2.HeadTravel {
 			t.Fatal("head travel diverged between identical runs")
+		}
+
+		// Parallel arm: the same run fanned out as independent cells, each
+		// on its own Reuse, must replay the sequential event stream exactly
+		// for any worker count. Cells return errors rather than calling
+		// t.Fatal (wrong goroutine).
+		workers := 1 + int(workersB)%8
+		cells, err := runner.Map(workers, 3, func(i int) ([]flatEvent, error) {
+			var events []flatEvent
+			var ru Reuse
+			res, err := Run(Config{Disk: m, Scheduler: sched.NewSCANEDF(50_000), Reuse: &ru,
+				Options: Options{DropLate: drop, Seed: seed, SampleRotation: true,
+					Fault: plan,
+					Trace: func(ev TraceEvent) { events = append(events, flatten(ev)) }}},
+				smallTraceCopy(trace))
+			if err != nil {
+				return nil, err
+			}
+			if res.HeadTravel != res1.HeadTravel {
+				return nil, fmt.Errorf("cell %d: head travel %d, sequential %d",
+					i, res.HeadTravel, res1.HeadTravel)
+			}
+			return events, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ev := range cells {
+			if !reflect.DeepEqual(ev, ev1) {
+				t.Fatalf("parallel cell %d (workers=%d) trace diverged from sequential run", i, workers)
+			}
 		}
 	})
 }

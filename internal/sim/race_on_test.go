@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is active; allocation
+// gates skip under it (instrumentation defeats sync.Pool caching).
+const raceEnabled = true

@@ -65,6 +65,12 @@ type Config struct {
 	// constant service time (useful for pure queueing experiments).
 	FixedService int64
 
+	// Reuse, when non-nil, recycles the collector, station, event heap and
+	// RNG of previous runs through the same Reuse instead of allocating
+	// fresh ones — see Reuse for the ownership and concurrency rules. The
+	// simulated trajectory is identical either way.
+	Reuse *Reuse
+
 	Options
 }
 
@@ -90,22 +96,30 @@ func Run(cfg Config, trace []*core.Request) (*Result, error) {
 		return nil, fmt.Errorf("sim: need a Disk model or FixedService")
 	}
 	dims, levels := inferShape(cfg.Dims, cfg.Levels, trace)
-	col := metrics.NewCollector(dims, levels)
-	st := &Station{
-		Sched:          cfg.Scheduler,
-		Disk:           cfg.Disk,
-		Col:            col,
-		TransferOnly:   cfg.TransferOnly,
-		FixedService:   cfg.FixedService,
-		SampleRotation: cfg.SampleRotation,
-		HeadAtDispatch: true,
-		IdleProbe:      true,
-	}
-	eng := &Engine{
-		Stations: []*Station{st},
-		DropLate: cfg.DropLate,
-		RNG:      stats.NewRNG(cfg.Seed),
-		Trace:    cfg.Trace,
+	var col *metrics.Collector
+	var st *Station
+	var eng *Engine
+	if cfg.Reuse != nil {
+		col = cfg.Reuse.collector(dims, levels)
+		eng, st = cfg.Reuse.engine(cfg, col)
+	} else {
+		col = metrics.NewCollector(dims, levels)
+		st = &Station{
+			Sched:          cfg.Scheduler,
+			Disk:           cfg.Disk,
+			Col:            col,
+			TransferOnly:   cfg.TransferOnly,
+			FixedService:   cfg.FixedService,
+			SampleRotation: cfg.SampleRotation,
+			HeadAtDispatch: true,
+			IdleProbe:      true,
+		}
+		eng = &Engine{
+			Stations: []*Station{st},
+			DropLate: cfg.DropLate,
+			RNG:      stats.NewRNG(cfg.Seed),
+			Trace:    cfg.Trace,
+		}
 	}
 	if !cfg.Fault.Zero() {
 		if cfg.Fault.FailAt > 0 {

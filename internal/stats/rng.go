@@ -30,7 +30,15 @@ func mix64(z uint64) uint64 {
 // same seed produce identical streams; the seed is scrambled so that nearby
 // seeds land far apart in the underlying sequence.
 func NewRNG(seed uint64) *RNG {
-	return &RNG{state: mix64(seed ^ 0x6a09e667f3bcc909)}
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets r in place to the stream NewRNG(seed) would produce, so
+// pooled per-run state can recycle a generator without allocating.
+func (r *RNG) Seed(seed uint64) {
+	r.state = mix64(seed ^ 0x6a09e667f3bcc909)
 }
 
 // Split derives an independent generator from r's stream. The child stream

@@ -21,6 +21,14 @@ func (s *Summary) Add(v float64) {
 	s.sorted = false
 }
 
+// Reset discards every observation while keeping the sample buffer's
+// capacity, so a summary can be reused across runs without reallocating.
+func (s *Summary) Reset() {
+	s.samples = s.samples[:0]
+	s.sum = 0
+	s.sorted = false
+}
+
 // N returns the number of observations recorded.
 func (s *Summary) N() int { return len(s.samples) }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package workload
+
+// raceEnabled reports whether the race detector is active; allocation
+// gates skip under it (instrumentation inflates allocation counts).
+const raceEnabled = true

@@ -5,6 +5,12 @@
 // A trace is a slice of requests sorted by arrival time; every scheduler
 // in a comparison is fed the identical trace, so differences in outcomes
 // are attributable to scheduling alone.
+//
+// Each generator has two forms: Generate allocates every request (and its
+// priority vector) individually, GenerateArena packs them into an Arena's
+// contiguous slabs for allocation-free regeneration across sweep cells.
+// Both replay the same RNG draw sequence, so they produce identical
+// traces.
 package workload
 
 import (
@@ -63,19 +69,63 @@ type Open struct {
 	ValueLevels int
 }
 
-// Generate builds the trace. It is deterministic in the configuration.
-func (w Open) Generate() ([]*core.Request, error) {
+func (w Open) validate() error {
 	if w.Count <= 0 {
-		return nil, fmt.Errorf("workload: Count must be positive, got %d", w.Count)
+		return fmt.Errorf("workload: Count must be positive, got %d", w.Count)
 	}
 	if w.MeanInterarrival <= 0 {
-		return nil, fmt.Errorf("workload: MeanInterarrival must be positive")
+		return fmt.Errorf("workload: MeanInterarrival must be positive")
 	}
 	if w.Dims < 0 || w.Levels < 1 {
-		return nil, fmt.Errorf("workload: invalid priority shape dims=%d levels=%d", w.Dims, w.Levels)
+		return fmt.Errorf("workload: invalid priority shape dims=%d levels=%d", w.Dims, w.Levels)
 	}
 	if w.DeadlineMax < w.DeadlineMin {
-		return nil, fmt.Errorf("workload: DeadlineMax < DeadlineMin")
+		return fmt.Errorf("workload: DeadlineMax < DeadlineMin")
+	}
+	return nil
+}
+
+// genOne fills the i-th request into r, advancing the arrival clock. The
+// caller provides r zeroed except for Priorities, which must already have
+// length w.Dims (backed by an arena slab or a fresh allocation); both
+// Generate forms funnel through here, so they consume the RNG stream
+// identically draw for draw.
+func (w Open) genOne(i int, now *int64, rng *stats.RNG, zipf *stats.Zipf, r *core.Request) {
+	*now += int64(rng.Exponential(float64(w.MeanInterarrival)))
+	r.ID = uint64(i + 1)
+	r.Arrival = *now
+	r.Size = w.Size
+	for k := range r.Priorities {
+		r.Priorities[k] = w.drawLevel(rng, zipf)
+	}
+	if w.DeadlineMax > 0 {
+		r.Deadline = *now + w.DeadlineMin
+		if span := w.DeadlineMax - w.DeadlineMin; span > 0 {
+			r.Deadline += int64(rng.Uint64n(uint64(span) + 1))
+		}
+	}
+	if w.SizeMin > 0 && w.SizeMax >= w.SizeMin && w.Dims > 0 && w.Levels > 1 {
+		var sum int64
+		for _, l := range r.Priorities {
+			sum += int64(l)
+		}
+		r.Size = w.SizeMin + (w.SizeMax-w.SizeMin)*sum/int64(w.Dims*(w.Levels-1))
+	}
+	if w.Cylinders > 0 {
+		r.Cylinder = rng.Intn(w.Cylinders)
+	}
+	if w.WriteFrac > 0 && rng.Float64() < w.WriteFrac {
+		r.Write = true
+	}
+	if w.ValueLevels > 0 {
+		r.Value = 1 + rng.Intn(w.ValueLevels)
+	}
+}
+
+// Generate builds the trace. It is deterministic in the configuration.
+func (w Open) Generate() ([]*core.Request, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
 	}
 	rng := stats.NewRNG(w.Seed)
 	var zipf *stats.Zipf
@@ -85,40 +135,11 @@ func (w Open) Generate() ([]*core.Request, error) {
 	reqs := make([]*core.Request, 0, w.Count)
 	now := int64(0)
 	for i := 0; i < w.Count; i++ {
-		now += int64(rng.Exponential(float64(w.MeanInterarrival)))
-		r := &core.Request{
-			ID:      uint64(i + 1),
-			Arrival: now,
-			Size:    w.Size,
-		}
+		r := &core.Request{}
 		if w.Dims > 0 {
 			r.Priorities = make([]int, w.Dims)
-			for k := range r.Priorities {
-				r.Priorities[k] = w.drawLevel(rng, zipf)
-			}
 		}
-		if w.DeadlineMax > 0 {
-			r.Deadline = now + w.DeadlineMin
-			if span := w.DeadlineMax - w.DeadlineMin; span > 0 {
-				r.Deadline += int64(rng.Uint64n(uint64(span) + 1))
-			}
-		}
-		if w.SizeMin > 0 && w.SizeMax >= w.SizeMin && w.Dims > 0 && w.Levels > 1 {
-			var sum int64
-			for _, l := range r.Priorities {
-				sum += int64(l)
-			}
-			r.Size = w.SizeMin + (w.SizeMax-w.SizeMin)*sum/int64(w.Dims*(w.Levels-1))
-		}
-		if w.Cylinders > 0 {
-			r.Cylinder = rng.Intn(w.Cylinders)
-		}
-		if w.WriteFrac > 0 && rng.Float64() < w.WriteFrac {
-			r.Write = true
-		}
-		if w.ValueLevels > 0 {
-			r.Value = 1 + rng.Intn(w.ValueLevels)
-		}
+		w.genOne(i, &now, rng, zipf, r)
 		reqs = append(reqs, r)
 	}
 	return reqs, nil
@@ -174,30 +195,37 @@ type Streams struct {
 	Burst int
 }
 
-// Generate builds the trace sorted by arrival time.
-func (s Streams) Generate() ([]*core.Request, error) {
+func (s Streams) validate() (burst int, err error) {
 	if s.Users <= 0 || s.Duration <= 0 {
-		return nil, fmt.Errorf("workload: Users and Duration must be positive")
+		return 0, fmt.Errorf("workload: Users and Duration must be positive")
 	}
 	if s.BitRate <= 0 || s.BlockSize <= 0 {
-		return nil, fmt.Errorf("workload: BitRate and BlockSize must be positive")
+		return 0, fmt.Errorf("workload: BitRate and BlockSize must be positive")
 	}
 	if s.Levels < 1 || s.Cylinders < 1 {
-		return nil, fmt.Errorf("workload: Levels and Cylinders must be positive")
+		return 0, fmt.Errorf("workload: Levels and Cylinders must be positive")
 	}
 	if s.DeadlineMax < s.DeadlineMin || s.DeadlineMin <= 0 {
-		return nil, fmt.Errorf("workload: invalid deadline range [%d,%d]", s.DeadlineMin, s.DeadlineMax)
+		return 0, fmt.Errorf("workload: invalid deadline range [%d,%d]", s.DeadlineMin, s.DeadlineMax)
 	}
-	burst := s.Burst
+	burst = s.Burst
 	if burst < 1 {
 		burst = 1
 	}
+	return burst, nil
+}
+
+// generate runs the stream mix and hands every request to emit in
+// generation (pre-sort) order, with its single priority level passed
+// separately so callers choose where the priority vector lives. Both
+// Generate forms funnel through here, so they consume the RNG stream
+// identically draw for draw.
+func (s Streams) generate(burst int, emit func(r core.Request, level int)) {
 	rng := stats.NewRNG(s.Seed)
 	// A stream consumes BitRate bits/s; each block lasts blockPeriod.
 	blockPeriod := int64(float64(s.BlockSize*8) / s.BitRate * 1e6)
 	period := blockPeriod * int64(burst)
 
-	var reqs []*core.Request
 	id := uint64(1)
 	for u := 0; u < s.Users; u++ {
 		urng := rng.Split()
@@ -212,15 +240,14 @@ func (s Streams) Generate() ([]*core.Request, error) {
 				dl += int64(urng.Uint64n(uint64(span) + 1))
 			}
 			for b := 0; b < burst; b++ {
-				reqs = append(reqs, &core.Request{
-					ID:         id,
-					Arrival:    t,
-					Deadline:   dl,
-					Cylinder:   cyl,
-					Size:       s.BlockSize,
-					Write:      write,
-					Priorities: []int{level},
-				})
+				emit(core.Request{
+					ID:       id,
+					Arrival:  t,
+					Deadline: dl,
+					Cylinder: cyl,
+					Size:     s.BlockSize,
+					Write:    write,
+				}, level)
 				id++
 				// Sequential file layout: the next block sits on the same
 				// or next cylinder; edits occasionally jump elsewhere.
@@ -232,10 +259,22 @@ func (s Streams) Generate() ([]*core.Request, error) {
 			}
 		}
 	}
-	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
-	for i, r := range reqs {
-		r.ID = uint64(i + 1)
+}
+
+// Generate builds the trace sorted by arrival time.
+func (s Streams) Generate() ([]*core.Request, error) {
+	burst, err := s.validate()
+	if err != nil {
+		return nil, err
 	}
+	var reqs []*core.Request
+	s.generate(burst, func(r core.Request, level int) {
+		q := &core.Request{}
+		*q = r
+		q.Priorities = []int{level}
+		reqs = append(reqs, q)
+	})
+	sortAndRenumber(reqs)
 	return reqs, nil
 }
 
@@ -246,4 +285,14 @@ func (s Streams) MustGenerate() []*core.Request {
 		panic(err)
 	}
 	return reqs
+}
+
+// sortAndRenumber orders a generated trace by arrival time (stable, so
+// same-time bursts keep generation order) and reassigns IDs 1..n in the
+// final order.
+func sortAndRenumber(reqs []*core.Request) {
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+	for i, r := range reqs {
+		r.ID = uint64(i + 1)
+	}
 }
