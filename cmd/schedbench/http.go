@@ -11,6 +11,7 @@ import (
 	"sfcsched/internal/core"
 	"sfcsched/internal/fault"
 	"sfcsched/internal/obs"
+	"sfcsched/internal/sim"
 )
 
 // publishOnce guards the process-global expvar namespace: expvar.Publish
@@ -25,6 +26,7 @@ func newObsMux() *http.ServeMux {
 	reg := obs.NewRegistry()
 	core.DefaultMetrics.MustRegister(reg, "sfcsched")
 	fault.DefaultMetrics.MustRegister(reg, "sfcsched_fault")
+	sim.DefaultDecisionMetrics.MustRegister(reg, "sfcsched_decision")
 	publishOnce.Do(func() { reg.PublishExpvar("sfcsched") })
 
 	mux := http.NewServeMux()

@@ -43,6 +43,9 @@ func TestObsEndpoints(t *testing.T) {
 		"sfcsched_adds_total",
 		"# TYPE sfcsched_dispatch_wait_us histogram",
 		"sfcsched_dispatch_wait_us_count",
+		"# TYPE sfcsched_decision_decisions_total counter",
+		"sfcsched_decision_shadow_disagreements_total",
+		"sfcsched_decision_candidate_depth_count",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)

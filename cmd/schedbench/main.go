@@ -160,6 +160,19 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 		}
 		render(a)
 		render(b)
+	case "divergence":
+		cfg := experiments.DefaultDivergenceConfig()
+		cfg.Seed = seed
+		cfg.Workers = workers
+		if requests > 0 {
+			cfg.Requests = requests
+		}
+		a, b, err := experiments.Divergence(cfg)
+		if err != nil {
+			return err
+		}
+		render(a)
+		render(b)
 	case "fig11", "fig11raid":
 		cfg := experiments.DefaultFig11Config()
 		cfg.Seed = seed

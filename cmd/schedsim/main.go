@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"sfcsched/internal/core"
 	"sfcsched/internal/disk"
@@ -96,25 +97,35 @@ func main() {
 	}
 	var traceHook func(sim.TraceEvent)
 	if opt.dispatchOut != "" {
-		w := io.Writer(os.Stdout)
-		if opt.dispatchOut != "-" {
-			f, err := os.Create(opt.dispatchOut)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			bw := bufio.NewWriter(f)
-			defer bw.Flush()
-			w = bw
+		w, closeOut, err := outWriter(opt.dispatchOut)
+		if err != nil {
+			fatal(err)
 		}
+		defer closeOut()
 		traceHook = sim.JSONLTrace(w)
+	}
+	var decisions *sim.DecisionTrace
+	if opt.decisionOut != "" {
+		w, closeOut, err := outWriter(opt.decisionOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeOut()
+		decisions = sim.NewDecisionTrace(1024)
+		decisions.OnRecord = sim.DecisionJSONL(w)
+	}
+	var telemetry *sim.Telemetry
+	if opt.telemetryOut != "" {
+		telemetry = sim.NewTelemetry(opt.telemetryInterval.Microseconds())
 	}
 	plan := opt.faultPlan()
 	opts := sim.Options{
 		DropLate: opt.drop,
 		Dims:     opt.dims, Levels: opt.levels, Seed: opt.seed,
-		Trace: traceHook,
-		Fault: plan,
+		Trace:     traceHook,
+		Fault:     plan,
+		Decisions: decisions,
+		Telemetry: telemetry,
 	}
 	fmt.Printf("%-12s %8s %8s %8s %10s %10s %12s",
 		"scheduler", "served", "dropped", "late", "seek(s)", "busy(s)", "inversions")
@@ -149,7 +160,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := sim.Run(sim.Config{Disk: m, Scheduler: s, Options: opts}, trace)
+		runOpts := opts
+		runOpts.Shadows, err = buildShadows(opt, m)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sim.Run(sim.Config{Disk: m, Scheduler: s, Options: runOpts}, trace)
 		if err != nil {
 			fatal(err)
 		}
@@ -158,6 +174,72 @@ func main() {
 			float64(res.SeekTime)/1e6, float64(res.ServiceTime)/1e6, res.TotalInversions())
 		printFaultCols(plan, res.Faults, []*metrics.Collector{res.Collector})
 		fmt.Println()
+		printShadowReports(res)
+	}
+	if telemetry != nil {
+		w, closeOut, err := outWriter(opt.telemetryOut)
+		if err != nil {
+			fatal(err)
+		}
+		err = telemetry.WriteCSV(w)
+		closeOut()
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// outWriter opens path for streaming output: "-" is stdout, anything else
+// a buffered file. The returned func flushes and closes.
+func outWriter(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriter(f)
+	return bw, func() { bw.Flush(); f.Close() }, nil
+}
+
+// buildShadows constructs the counterfactual shadow schedulers of the
+// -shadow flag, fresh per run (shadows are single-use).
+func buildShadows(opt options, m *disk.Model) ([]*sim.Shadow, error) {
+	if opt.shadowList == "" {
+		return nil, nil
+	}
+	var shadows []*sim.Shadow
+	for _, name := range strings.Split(opt.shadowList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, err := build(name, m, opt.curve, opt.f, opt.r, opt.window, opt.levels, opt.dims, opt.deadlineMax.Microseconds())
+		if err != nil {
+			return nil, fmt.Errorf("-shadow %s: %w", name, err)
+		}
+		shadows = append(shadows, sim.NewShadow(name, s))
+	}
+	return shadows, nil
+}
+
+// printShadowReports renders the divergence summary of each shadow that
+// rode the run.
+func printShadowReports(res *sim.Result) {
+	if len(res.Shadows) == 0 {
+		return
+	}
+	fmt.Printf("  %-12s %9s %7s %7s %7s %12s %9s\n",
+		"shadow", "decisions", "agree%", "drops", "empty", "head-travel", "Δslack/ms")
+	for _, rep := range res.Shadows {
+		agree := 0.0
+		if rep.Decisions > 0 {
+			agree = 100 * float64(rep.Agreements) / float64(rep.Decisions)
+		}
+		slackMs := float64(rep.SlackDelta) / 1e3
+		fmt.Printf("  %-12s %9d %7.2f %7d %7d %12d %9.1f\n",
+			rep.Name, rep.Decisions, agree, rep.Drops, rep.Empty, rep.HeadTravel, slackMs)
 	}
 }
 

@@ -32,6 +32,13 @@ type options struct {
 	blockSize    int64
 	writeFrac    float64
 
+	// Decision observability (PR 7): per-dispatch decision records,
+	// counterfactual shadow schedulers, and sim-time telemetry.
+	decisionOut       string
+	shadowList        string
+	telemetryOut      string
+	telemetryInterval time.Duration
+
 	// Fault injection (PR 5): transient errors on any topology, whole-disk
 	// failure and rebuild on arrays only.
 	faultRate       float64
@@ -64,6 +71,10 @@ func (o *options) register(fs *flag.FlagSet) {
 	fs.BoolVar(&o.drop, "drop", true, "drop requests whose deadline passed before service")
 	fs.StringVar(&o.traceFile, "trace", "", "replay a tracegen CSV file instead of generating a workload")
 	fs.StringVar(&o.dispatchOut, "dispatch-trace", "", "write a JSONL stream of dispatch decisions to this file (- for stdout)")
+	fs.StringVar(&o.decisionOut, "decision-trace", "", "write a JSONL stream of per-dispatch decision records (candidate set, slack distribution, window) to this file (- for stdout)")
+	fs.StringVar(&o.shadowList, "shadow", "", "comma-separated shadow schedulers to ride the run counterfactually (e.g. scan-edf,fcfs); reports divergence after the run")
+	fs.StringVar(&o.telemetryOut, "telemetry", "", "write sim-time telemetry rows (queue depth, utilization, value spread, slack) as CSV to this file (- for stdout)")
+	fs.DurationVar(&o.telemetryInterval, "telemetry-interval", 50*time.Millisecond, "sim-time sampling period for -telemetry")
 	fs.IntVar(&o.arrayDisks, "array", 0, "simulate a RAID-5 array with this many disks (0 = single disk)")
 	fs.Int64Var(&o.blockSize, "block", 64<<10, "array: logical block size, bytes")
 	fs.Float64Var(&o.writeFrac, "write-frac", 0, "array: fraction of logical writes (read-modify-write)")
@@ -113,6 +124,21 @@ func (o *options) validate() error {
 	}
 	if o.arrayDisks > 0 && o.blockSize < 1 {
 		return fmt.Errorf("-block must be positive, got %d", o.blockSize)
+	}
+	if o.shadowList != "" && o.arrayDisks > 0 {
+		return fmt.Errorf("-shadow works on single-disk runs; array stations would need per-disk shadow sets")
+	}
+	if o.sched == "all" {
+		for flagName, v := range map[string]string{
+			"-decision-trace": o.decisionOut, "-shadow": o.shadowList, "-telemetry": o.telemetryOut,
+		} {
+			if v != "" {
+				return fmt.Errorf("%s needs a single scheduler, not -sched all (outputs would interleave)", flagName)
+			}
+		}
+	}
+	if o.telemetryOut != "" && o.telemetryInterval <= 0 {
+		return fmt.Errorf("-telemetry-interval must be positive, got %v", o.telemetryInterval)
 	}
 	if o.faultRate < 0 || o.faultRate > 1 {
 		return fmt.Errorf("-fault-rate must be in [0,1], got %v", o.faultRate)

@@ -1,0 +1,105 @@
+// Command tracediff compares two JSONL dispatch traces (schedsim
+// -dispatch-trace or -decision-trace output) line by line and reports the
+// first divergence with surrounding context. Two runs that should be
+// deterministic twins — same seed across machines, a run with shadows
+// attached versus one without — can be checked in one command:
+//
+//	tracediff golden.jsonl candidate.jsonl
+//	tracediff -context 5 a.jsonl b.jsonl
+//
+// Exit status is 0 when the traces are identical, 1 at the first
+// divergence, 2 on usage or I/O errors.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	context := flag.Int("context", 3, "matching lines to print before the divergence")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tracediff [-context n] a.jsonl b.jsonl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 || *context < 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	a, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer a.Close()
+	b, err := os.Open(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	defer b.Close()
+	same, err := diff(a, b, os.Stdout, *context)
+	if err != nil {
+		fatal(err)
+	}
+	if !same {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracediff: %v\n", err)
+	os.Exit(2)
+}
+
+// diff streams both readers line by line and writes a report of the first
+// divergence to w: up to context preceding common lines, then the two
+// differing lines tagged with their source. It returns true when the
+// streams are byte-identical. A stream ending early is a divergence; the
+// longer side's next line is reported against "<end of trace>".
+func diff(a, b io.Reader, w io.Writer, context int) (bool, error) {
+	sa := bufio.NewScanner(a)
+	sb := bufio.NewScanner(b)
+	sa.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	sb.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var recent []string // ring of the last `context` common lines
+	line := 0
+	for {
+		okA, okB := sa.Scan(), sb.Scan()
+		if err := sa.Err(); err != nil {
+			return false, fmt.Errorf("reading first trace: %w", err)
+		}
+		if err := sb.Err(); err != nil {
+			return false, fmt.Errorf("reading second trace: %w", err)
+		}
+		if !okA && !okB {
+			fmt.Fprintf(w, "traces identical (%d lines)\n", line)
+			return true, nil
+		}
+		line++
+		la, lb := "<end of trace>", "<end of trace>"
+		if okA {
+			la = sa.Text()
+		}
+		if okB {
+			lb = sb.Text()
+		}
+		if okA && okB && la == lb {
+			if context > 0 {
+				if len(recent) == context {
+					recent = append(recent[:0], recent[1:]...)
+				}
+				recent = append(recent, la)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "traces diverge at line %d\n", line)
+		for i, l := range recent {
+			fmt.Fprintf(w, "  %6d   %s\n", line-len(recent)+i, l)
+		}
+		fmt.Fprintf(w, "a %6d - %s\nb %6d + %s\n", line, la, line, lb)
+		return false, nil
+	}
+}

@@ -129,6 +129,19 @@ func (s *Scheduler) Next(now int64, head int) *Request {
 	return r
 }
 
+// RequestValue returns the characterization value the encapsulator would
+// assign r at time now with the head at cylinder head, on the current
+// sweep timeline. Read-only: neither the queues nor the sweep progress
+// change, so observability layers (sim decision tracing) can rank queued
+// candidates by v_c without perturbing the scheduler.
+func (s *Scheduler) RequestValue(r *Request, now int64, head int) uint64 {
+	return s.enc.ValueAt(r, now, head, s.progress)
+}
+
+// Window returns the dispatcher's current blocking window (ER may have
+// expanded it beyond the configured width).
+func (s *Scheduler) Window() uint64 { return s.disp.Window() }
+
 // Len returns the number of queued requests.
 func (s *Scheduler) Len() int { return s.disp.Len() }
 

@@ -154,7 +154,8 @@ func ratio(num, den float64) float64 {
 // All lists the experiment IDs in paper order. fig11raid is the §6
 // experiment on the full RAID-5 array at the paper's unscaled bit rate;
 // faultsweep is the PR-5 robustness sweep over transient fault rates on
-// the degraded array.
+// the degraded array; divergence is the PR-7 counterfactual
+// shadow-scheduler sweep.
 func All() []string {
-	return []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig11raid", "faultsweep"}
+	return []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig11raid", "faultsweep", "divergence"}
 }

@@ -131,6 +131,25 @@ func (h *Histogram) Snapshot() [histBuckets]uint64 {
 // that rank. Returns 0 when empty.
 func (h *Histogram) Quantile(q float64) uint64 {
 	s := h.Snapshot()
+	return quantileOf(&s, q)
+}
+
+// Quantiles estimates several quantiles from one consistent bucket
+// snapshot, so p50/p95/p99 of a concurrently-written histogram come from
+// the same set of observations. Each estimate is the inclusive upper bound
+// of the log2 bucket containing that rank — an upper bound within 2x of
+// the true value. Returns zeros when the histogram is empty.
+func (h *Histogram) Quantiles(qs ...float64) []uint64 {
+	s := h.Snapshot()
+	out := make([]uint64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileOf(&s, q)
+	}
+	return out
+}
+
+// quantileOf estimates the q-quantile of a bucket snapshot.
+func quantileOf(s *[histBuckets]uint64, q float64) uint64 {
 	var total uint64
 	for _, c := range s {
 		total += c

@@ -89,6 +89,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
+// promQuantiles is the fixed quantile set exported for every histogram:
+// the operational p50/p95/p99 trio.
+var promQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50},
+	{"0.95", 0.95},
+	{"0.99", 0.99},
+}
+
 func writeProm(w io.Writer, name string, mv metricVar) error {
 	var err error
 	header := func(n, typ string) {
@@ -139,7 +150,20 @@ func writeProm(w io.Writer, name string, mv metricVar) error {
 				return err
 			}
 		}
-		_, err = fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, v.Sum(), name, v.Count())
+		if _, err = fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, v.Sum(), name, v.Count()); err != nil {
+			return err
+		}
+		// Quantile estimates from the same snapshot, as a sibling gauge
+		// family (mixing summary-style quantile lines into a histogram
+		// family would be invalid exposition format).
+		if _, err = fmt.Fprintf(w, "# TYPE %s_quantile gauge\n", name); err != nil {
+			return err
+		}
+		for _, q := range promQuantiles {
+			if _, err = fmt.Fprintf(w, "%s_quantile{quantile=%q} %d\n", name, q.label, quantileOf(&s, q.q)); err != nil {
+				return err
+			}
+		}
 	case func() float64:
 		header(name, "gauge")
 		if err == nil {
@@ -160,7 +184,7 @@ func (r *Registry) Handler() http.Handler {
 
 // Snapshot returns the current value of every metric as a plain map:
 // counters and gauges as integers, funcs as floats, histograms as
-// {count, sum, mean, p50, p99}.
+// {count, sum, mean, p50, p95, p99}.
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -174,12 +198,14 @@ func (r *Registry) Snapshot() map[string]any {
 		case *MaxGauge:
 			out[name] = v.Load()
 		case *Histogram:
+			qs := v.Quantiles(0.50, 0.95, 0.99)
 			out[name] = map[string]any{
 				"count": v.Count(),
 				"sum":   v.Sum(),
 				"mean":  v.Mean(),
-				"p50":   v.Quantile(0.50),
-				"p99":   v.Quantile(0.99),
+				"p50":   qs[0],
+				"p95":   qs[1],
+				"p99":   qs[2],
 			}
 		case func() float64:
 			out[name] = v()

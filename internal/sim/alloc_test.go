@@ -101,3 +101,55 @@ func TestReuseMatchesFreshRun(t *testing.T) {
 			fresh.HeadTravel, fresh.Scheduler, reused.HeadTravel, reused.Scheduler)
 	}
 }
+
+// The observability layer must be free when disabled: a Config with every
+// observability hook explicitly nil costs exactly what the baseline gate
+// above allows. This is the regression gate for the nil-check-only
+// contract of Engine.dispatch.
+func TestRunObservabilityDisabledAllocs(t *testing.T) {
+	skipUnderRace(t)
+	var arena workload.Arena
+	trace := reuseBenchWorkload().MustGenerateArena(&arena)
+	var ru Reuse
+	cfg := Config{
+		Disk: xp(), Scheduler: sched.NewCSCAN(), Reuse: &ru,
+		Options: Options{DropLate: true, Seed: 1, Dims: 3, Levels: 8,
+			Decisions: nil, Telemetry: nil, Shadows: nil},
+	}
+	MustRun(cfg, trace)
+	allocs := testing.AllocsPerRun(10, func() { MustRun(cfg, trace) })
+	if allocs > 16 {
+		t.Errorf("Run with observability disabled allocates %v per run, want <= 16", allocs)
+	}
+}
+
+// With decision tracing and telemetry enabled, steady-state allocations
+// stay run-constant: the ring is pre-filled after warmup, the candidate
+// and slack scratch have grown to the deepest queue, and the telemetry
+// columns are recycled by Reset — so captures cost no per-decision
+// allocations.
+func TestRunObservabilityEnabledBoundedAllocs(t *testing.T) {
+	skipUnderRace(t)
+	var arena workload.Arena
+	trace := reuseBenchWorkload().MustGenerateArena(&arena)
+	var ru Reuse
+	dt := NewDecisionTrace(512)
+	dt.SetMetrics(&DecisionMetrics{})
+	tel := NewTelemetry(50_000)
+	tel.SetMetrics(&DecisionMetrics{})
+	cfg := Config{
+		Disk: xp(), Scheduler: sched.NewCSCAN(), Reuse: &ru,
+		Options: Options{DropLate: true, Seed: 1, Dims: 3, Levels: 8,
+			Decisions: dt, Telemetry: tel},
+	}
+	MustRun(cfg, trace) // warm: fills the ring, grows scratch and columns
+	tel.Reset()
+	MustRun(cfg, trace)
+	allocs := testing.AllocsPerRun(10, func() {
+		tel.Reset()
+		MustRun(cfg, trace)
+	})
+	if allocs > 32 {
+		t.Errorf("Run with decision trace + telemetry allocates %v per run, want <= 32", allocs)
+	}
+}

@@ -63,6 +63,9 @@ type ArrayResult struct {
 	// RebuildReads counts survivor reads issued by the background rebuild
 	// through the foreground schedulers.
 	RebuildReads uint64
+	// Shadows holds one divergence report per attached shadow, in
+	// Options.Shadows order; empty when the run had none.
+	Shadows []ShadowReport
 }
 
 // logicalState tracks one in-flight logical request.
@@ -119,10 +122,23 @@ func RunArray(cfg ArrayConfig, logical []*core.Request) (*ArrayResult, error) {
 		PerDiskOps: make([]uint64, cfg.Array.Disks),
 	}
 	eng := &Engine{
-		Stations: stations,
-		DropLate: cfg.DropLate,
-		RNG:      stats.NewRNG(cfg.Seed),
-		Trace:    cfg.Trace,
+		Stations:  stations,
+		DropLate:  cfg.DropLate,
+		RNG:       stats.NewRNG(cfg.Seed),
+		Trace:     cfg.Trace,
+		Decisions: cfg.Decisions,
+		Telemetry: cfg.Telemetry,
+	}
+	for _, sh := range cfg.Shadows {
+		if sh.Station < 0 || sh.Station >= len(stations) {
+			return nil, fmt.Errorf("sim: shadow %q targets station %d outside array of %d disks", sh.name, sh.Station, len(stations))
+		}
+		if sh.used {
+			return nil, fmt.Errorf("sim: shadow %q already rode a run; shadows are single-use", sh.name)
+		}
+		st := stations[sh.Station]
+		sh.bind(st, cfg.DropLate)
+		st.shadows = append(st.shadows, sh)
 	}
 	var inj *fault.Injector
 	if !cfg.Fault.Zero() {
@@ -318,6 +334,12 @@ func RunArray(cfg ArrayConfig, logical []*core.Request) (*ArrayResult, error) {
 	if inj != nil {
 		fs := inj.Stats()
 		res.Faults = &fs
+	}
+	if len(cfg.Shadows) > 0 {
+		res.Shadows = make([]ShadowReport, len(cfg.Shadows))
+		for i, sh := range cfg.Shadows {
+			res.Shadows[i] = sh.Report()
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"io"
+	"slices"
+	"strconv"
+
+	"sfcsched/internal/core"
+)
+
+// This file is the decision-observability layer of the simulator: a
+// per-dispatch capture of the context the scheduler decided in — the
+// candidate set it chose from, the chosen request, the deadline-slack
+// distribution across the queue, the head position and (for the
+// Cascaded-SFC scheduler) the blocking-window state. ROADMAP item 4's
+// knob tuner and the counterfactual shadow schedulers (shadow.go) both
+// consume this record stream.
+//
+// Cost contract: with Options.Decisions nil the engine's dispatch path is
+// untouched (no captures, no allocations — pinned by the alloc gates).
+// With tracing enabled, records land in a fixed-capacity ring and every
+// per-decision buffer (candidate scratch, slack scratch, JSONL buffer) is
+// reused, so steady-state capture performs no per-decision allocations
+// once the scratch has grown to the deepest queue observed.
+
+// MaxTopK is the number of head-of-queue candidates retained per decision
+// record. Fixed-size so records are flat copyable values with no
+// per-record allocation.
+const MaxTopK = 8
+
+// NoValue marks a candidate whose scheduler does not expose
+// characterization values (it does not implement ValueRanker).
+const NoValue = ^uint64(0)
+
+// NoDeadlineSlack is the slack reported for requests without a deadline
+// (matching core.Request.Slack).
+const NoDeadlineSlack = int64(1) << 62
+
+// ValueRanker is implemented by schedulers that can report the scalar
+// value they order requests by — lower is served earlier. core.Scheduler
+// implements it with the encapsulator's v_c. The call must be read-only:
+// decision tracing invokes it per queued candidate on live queues.
+type ValueRanker interface {
+	RequestValue(r *core.Request, now int64, head int) uint64
+}
+
+// WindowStater is implemented by schedulers exposing a blocking-window
+// state (core.Scheduler reports the dispatcher's current — possibly
+// ER-expanded — window).
+type WindowStater interface {
+	Window() uint64
+}
+
+// DecisionCandidate is one queued request inside a decision record.
+type DecisionCandidate struct {
+	// ID is the request ID.
+	ID uint64
+	// Cylinder is the request's target cylinder (logical block on arrays).
+	Cylinder int
+	// Slack is the deadline slack at decision time, µs (negative when
+	// expired, NoDeadlineSlack when the request has no deadline).
+	Slack int64
+	// V is the scheduler's characterization value for the candidate at
+	// decision time, or NoValue when the scheduler exposes none.
+	V uint64
+}
+
+// DecisionRecord captures the context of one dispatch decision.
+type DecisionRecord struct {
+	// Seq is the decision's index in the run, dense from 0 across all
+	// stations.
+	Seq uint64
+	// Now is the simulation clock at the decision, µs.
+	Now int64
+	// DiskID is the station the decision happened on.
+	DiskID int
+	// Head is the station's head cylinder when the scheduler decided.
+	Head int
+	// Depth is the candidate-set size the scheduler chose from (including
+	// the chosen request).
+	Depth int
+	// Deadlined is the number of candidates carrying a deadline; the slack
+	// distribution below is over exactly these.
+	Deadlined int
+	// Window is the blocking-window state of a WindowStater scheduler at
+	// the decision, 0 otherwise.
+	Window uint64
+	// Chosen is the dispatched (or dropped) request.
+	Chosen DecisionCandidate
+	// Dropped marks a §6 deadline drop rather than a service start.
+	Dropped bool
+	// VSpread is the max-min spread of candidate values when the
+	// scheduler is a ValueRanker, 0 otherwise.
+	VSpread uint64
+	// SlackMin, SlackP50 and SlackMax summarize the deadline-slack
+	// distribution over the Deadlined candidates, µs. All zero when no
+	// candidate has a deadline.
+	SlackMin int64
+	SlackP50 int64
+	SlackMax int64
+	// K is the number of valid entries in TopK.
+	K int
+	// TopK holds the K head-of-queue candidates in rank order: by (V, ID)
+	// when the scheduler is a ValueRanker, by (Slack, ID) otherwise. The
+	// ranking is a consistent decision-time snapshot — for value
+	// schedulers the values are recomputed at the decision's (now, head),
+	// which may differ from the enqueue-time values the dispatcher
+	// actually sorted by.
+	TopK [MaxTopK]DecisionCandidate
+}
+
+// DecisionTrace captures decision records into a fixed-capacity ring.
+// Install one via Options.Decisions; it is not safe for concurrent use
+// across simultaneous runs (one per run, like a collector).
+type DecisionTrace struct {
+	// OnRecord, when non-nil, receives every record as it is captured.
+	// The pointer aliases the ring slot and is overwritten after capacity
+	// more decisions: hooks must copy what they retain. DecisionJSONL
+	// adapts an io.Writer into a streaming hook.
+	OnRecord func(*DecisionRecord)
+
+	cap   int
+	recs  []DecisionRecord
+	total uint64
+	m     *DecisionMetrics
+
+	// Per-snapshot scratch, reused across decisions.
+	cands  []DecisionCandidate
+	slacks []int64
+	visit  func(*core.Request)
+	vr     ValueRanker
+	now    int64
+	head   int
+}
+
+// NewDecisionTrace returns a trace retaining the last capacity decision
+// records (capacity < 1 is raised to 1). Records beyond the capacity
+// overwrite the oldest; Total still counts them and OnRecord still sees
+// them.
+func NewDecisionTrace(capacity int) *DecisionTrace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &DecisionTrace{cap: capacity, m: DefaultDecisionMetrics}
+	t.visit = func(r *core.Request) {
+		v := NoValue
+		if t.vr != nil {
+			v = t.vr.RequestValue(r, t.now, t.head)
+		}
+		t.cands = append(t.cands, DecisionCandidate{
+			ID: r.ID, Cylinder: r.Cylinder, Slack: r.Slack(t.now), V: v,
+		})
+	}
+	return t
+}
+
+// SetMetrics redirects the trace's observability counters to m instead of
+// the process-wide DefaultDecisionMetrics. Call before the run starts.
+func (t *DecisionTrace) SetMetrics(m *DecisionMetrics) { t.m = m }
+
+// Total returns the number of decisions captured over the trace's
+// lifetime (across ring wraps).
+func (t *DecisionTrace) Total() uint64 { return t.total }
+
+// Len returns the number of records currently retained (≤ capacity).
+func (t *DecisionTrace) Len() int { return len(t.recs) }
+
+// Records returns the retained records in chronological order, copied out
+// of the ring.
+func (t *DecisionTrace) Records() []DecisionRecord {
+	out := make([]DecisionRecord, 0, len(t.recs))
+	if t.total > uint64(t.cap) {
+		start := int(t.total % uint64(t.cap))
+		out = append(out, t.recs[start:]...)
+		out = append(out, t.recs[:start]...)
+		return out
+	}
+	return append(out, t.recs...)
+}
+
+// snapshot walks the station's queue into the candidate scratch before the
+// scheduler is asked to decide. The walk is read-only.
+func (t *DecisionTrace) snapshot(st *Station, now int64) {
+	t.cands = t.cands[:0]
+	t.vr, _ = st.Sched.(ValueRanker)
+	t.now, t.head = now, st.head
+	st.Sched.Each(t.visit)
+}
+
+// candByV ranks candidates by (V, ID); candBySlack by (Slack, ID). Both
+// are total orders, so rankings are deterministic.
+func candByV(a, b DecisionCandidate) int {
+	if a.V != b.V {
+		if a.V < b.V {
+			return -1
+		}
+		return 1
+	}
+	return cmpU64(a.ID, b.ID)
+}
+
+func candBySlack(a, b DecisionCandidate) int {
+	if a.Slack != b.Slack {
+		if a.Slack < b.Slack {
+			return -1
+		}
+		return 1
+	}
+	return cmpU64(a.ID, b.ID)
+}
+
+func cmpU64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// commit turns the pending snapshot plus the scheduler's choice into a
+// record. Called once per decision, for serves and deadline drops alike.
+func (t *DecisionTrace) commit(st *Station, r *core.Request, now int64, dropped bool) {
+	var rec DecisionRecord
+	rec.Seq = t.total
+	rec.Now = now
+	rec.DiskID = st.ID
+	rec.Head = t.head
+	rec.Depth = len(t.cands)
+	rec.Dropped = dropped
+	rec.Chosen = DecisionCandidate{ID: r.ID, Cylinder: r.Cylinder, Slack: r.Slack(now), V: NoValue}
+	if t.vr != nil {
+		rec.Chosen.V = t.vr.RequestValue(r, now, t.head)
+	}
+	if ws, ok := st.Sched.(WindowStater); ok {
+		rec.Window = ws.Window()
+	}
+
+	// Slack distribution over the deadline-carrying candidates.
+	t.slacks = t.slacks[:0]
+	for _, c := range t.cands {
+		if c.Slack != NoDeadlineSlack {
+			t.slacks = append(t.slacks, c.Slack)
+		}
+	}
+	rec.Deadlined = len(t.slacks)
+	if n := len(t.slacks); n > 0 {
+		slices.Sort(t.slacks)
+		rec.SlackMin = t.slacks[0]
+		rec.SlackP50 = t.slacks[n/2]
+		rec.SlackMax = t.slacks[n-1]
+	}
+
+	// Rank the candidate set and retain the head of the queue.
+	if t.vr != nil {
+		slices.SortFunc(t.cands, candByV)
+		if n := len(t.cands); n > 0 {
+			rec.VSpread = t.cands[n-1].V - t.cands[0].V
+		}
+	} else {
+		slices.SortFunc(t.cands, candBySlack)
+	}
+	rec.K = min(len(t.cands), MaxTopK)
+	copy(rec.TopK[:], t.cands[:rec.K])
+
+	// Ring store: append until capacity, then overwrite the oldest.
+	if len(t.recs) < t.cap {
+		t.recs = append(t.recs, rec)
+	} else {
+		t.recs[t.total%uint64(t.cap)] = rec
+	}
+	stored := &t.recs[t.total%uint64(t.cap)]
+	t.total++
+
+	t.m.Decisions.Inc()
+	if dropped {
+		t.m.Drops.Inc()
+	}
+	t.m.CandidateDepth.Observe(uint64(rec.Depth))
+	if r.Deadline > 0 {
+		if s := rec.Chosen.Slack; s > 0 {
+			t.m.ChoiceSlack.Observe(uint64(s))
+		} else {
+			t.m.ChoiceSlack.Observe(0)
+		}
+	}
+	if t.OnRecord != nil {
+		t.OnRecord(stored)
+	}
+}
+
+// appendCandidate appends one candidate as a JSON object, omitting v when
+// the scheduler exposes no values.
+func appendCandidate(b []byte, c DecisionCandidate) []byte {
+	b = append(b, `{"id":`...)
+	b = strconv.AppendUint(b, c.ID, 10)
+	b = append(b, `,"cyl":`...)
+	b = strconv.AppendInt(b, int64(c.Cylinder), 10)
+	if c.Slack != NoDeadlineSlack {
+		b = append(b, `,"slack":`...)
+		b = strconv.AppendInt(b, c.Slack, 10)
+	}
+	if c.V != NoValue {
+		b = append(b, `,"v":`...)
+		b = strconv.AppendUint(b, c.V, 10)
+	}
+	return append(b, '}')
+}
+
+// DecisionJSONL adapts w into an OnRecord hook writing one JSON object per
+// line per decision, into a buffer reused across records (zero allocations
+// per record once grown). The first write error silences the hook for the
+// rest of the run.
+func DecisionJSONL(w io.Writer) func(*DecisionRecord) {
+	var buf []byte
+	failed := false
+	return func(rec *DecisionRecord) {
+		if failed {
+			return
+		}
+		b := buf[:0]
+		b = append(b, `{"seq":`...)
+		b = strconv.AppendUint(b, rec.Seq, 10)
+		b = append(b, `,"now":`...)
+		b = strconv.AppendInt(b, rec.Now, 10)
+		if rec.DiskID != 0 {
+			b = append(b, `,"disk":`...)
+			b = strconv.AppendInt(b, int64(rec.DiskID), 10)
+		}
+		b = append(b, `,"head":`...)
+		b = strconv.AppendInt(b, int64(rec.Head), 10)
+		b = append(b, `,"depth":`...)
+		b = strconv.AppendInt(b, int64(rec.Depth), 10)
+		if rec.Window != 0 {
+			b = append(b, `,"window":`...)
+			b = strconv.AppendUint(b, rec.Window, 10)
+		}
+		b = append(b, `,"chosen":`...)
+		b = appendCandidate(b, rec.Chosen)
+		if rec.Dropped {
+			b = append(b, `,"dropped":true`...)
+		}
+		if rec.VSpread != 0 {
+			b = append(b, `,"v_spread":`...)
+			b = strconv.AppendUint(b, rec.VSpread, 10)
+		}
+		if rec.Deadlined > 0 {
+			b = append(b, `,"deadlined":`...)
+			b = strconv.AppendInt(b, int64(rec.Deadlined), 10)
+			b = append(b, `,"slack_min":`...)
+			b = strconv.AppendInt(b, rec.SlackMin, 10)
+			b = append(b, `,"slack_p50":`...)
+			b = strconv.AppendInt(b, rec.SlackP50, 10)
+			b = append(b, `,"slack_max":`...)
+			b = strconv.AppendInt(b, rec.SlackMax, 10)
+		}
+		b = append(b, `,"topk":[`...)
+		for i := 0; i < rec.K; i++ {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendCandidate(b, rec.TopK[i])
+		}
+		b = append(b, ']', '}', '\n')
+		buf = b
+		if _, err := w.Write(b); err != nil {
+			failed = true
+		}
+	}
+}

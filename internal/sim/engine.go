@@ -61,6 +61,7 @@ type Station struct {
 	svcStart   int64
 	svcSeek    int64
 	svcTime    int64
+	shadows    []*Shadow
 }
 
 // Head returns the station's current head cylinder.
@@ -74,9 +75,15 @@ func (s *Station) Busy() bool { return s.inSvc != nil }
 
 // Enqueue hands r to the station's scheduler with the station's current
 // head position. The head is always a valid (clamped) cylinder, so
-// schedulers never observe a position outside the disk.
+// schedulers never observe a position outside the disk. Attached shadow
+// schedulers receive the same request (with their own head positions), so
+// counterfactual queues see every arrival and fault retry the primary
+// queue sees.
 func (s *Station) Enqueue(r *core.Request, now int64) {
 	s.Sched.Add(r, now, s.head)
+	for _, sh := range s.shadows {
+		sh.add(r, now)
+	}
 }
 
 // serviceTimeAt returns (seekTime, totalServiceTime) for a service of
@@ -188,6 +195,16 @@ type Engine struct {
 	// RNG stream, so a nil (or zero-plan) injector leaves runs
 	// byte-identical.
 	Faults *fault.Injector
+	// Decisions, when non-nil, captures a DecisionRecord per dispatch
+	// decision: the candidate set is snapshotted (read-only) just before
+	// the scheduler's Next and committed with the choice. Nil costs
+	// nothing on the dispatch path.
+	Decisions *DecisionTrace
+	// Telemetry, when non-nil, samples per-station queue/utilization
+	// state at fixed sim-time intervals. Sampling happens inside the run
+	// loop at event times — it schedules no events of its own, so it can
+	// never perturb the simulation.
+	Telemetry *Telemetry
 
 	// OnServed fires when a station completes a service; OnDropped when a
 	// station drops an expired request; OnLateStart when a service starts
@@ -277,6 +294,9 @@ func (e *Engine) Run(trace []*core.Request, deliver func(r *core.Request, now in
 		for _, st := range e.Stations {
 			e.dispatch(st, t)
 		}
+		if e.Telemetry != nil {
+			e.Telemetry.sample(e, t)
+		}
 	}
 	return e.now
 }
@@ -291,6 +311,11 @@ func (e *Engine) dispatch(st *Station, now int64) {
 		return
 	}
 	for st.inSvc == nil && st.Sched.Len() > 0 {
+		if e.Decisions != nil {
+			// Snapshot the candidate set before the scheduler decides; the
+			// walk is read-only, so the decision itself is unperturbed.
+			e.Decisions.snapshot(st, now)
+		}
 		r := st.Sched.Next(now, st.head)
 		if r == nil {
 			return
@@ -309,6 +334,9 @@ func (e *Engine) dispatch(st *Station, now int64) {
 			}
 			if e.Trace != nil {
 				e.Trace(TraceEvent{Now: now, DiskID: st.ID, Request: r, Dropped: true, QueueLen: st.Sched.Len()})
+			}
+			if e.Decisions != nil {
+				e.Decisions.commit(st, r, now, true)
 			}
 			if e.OnDropped != nil {
 				e.OnDropped(st, r, now)
@@ -329,6 +357,12 @@ func (e *Engine) dispatch(st *Station, now int64) {
 		}
 		if e.Trace != nil {
 			e.Trace(TraceEvent{Now: now, DiskID: st.ID, Request: r, Head: st.head, Seek: seek, Service: svc, QueueLen: st.Sched.Len()})
+		}
+		if e.Decisions != nil {
+			e.Decisions.commit(st, r, now, false)
+		}
+		for _, sh := range st.shadows {
+			sh.observe(r, now)
 		}
 		st.inSvc, st.target = r, target
 		st.svcStart, st.svcSeek, st.svcTime = now, seek, svc

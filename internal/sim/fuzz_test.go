@@ -175,3 +175,71 @@ func fuzzArrayRun(t *testing.T, m *disk.Model, seed uint64, count int, rateB, fa
 		t.Fatal("array degraded-operation counters diverged between identical runs")
 	}
 }
+
+// FuzzShadowGoldenIdentity pins the observability layer's non-perturbation
+// guarantee under fuzzing: a run with shadow schedulers, a decision trace
+// and telemetry attached must replay the byte-identical TraceEvent stream,
+// collector and head travel of a bare run, for any workload, drop mode and
+// shadow combination.
+func FuzzShadowGoldenIdentity(f *testing.F) {
+	f.Add(uint64(1), uint16(100), false, byte(0))
+	f.Add(uint64(7), uint16(200), true, byte(1))
+	f.Add(uint64(13), uint16(300), true, byte(2))
+	f.Add(uint64(42), uint16(50), false, byte(3))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, drop bool, shadowSel byte) {
+		m := disk.MustModel(disk.QuantumXP32150Params())
+		trace := workload.Open{
+			Seed: seed, Count: 50 + int(n)%300, MeanInterarrival: 15_000,
+			Dims: 2, Levels: 8, DeadlineMin: 100_000, DeadlineMax: 400_000,
+			Cylinders: m.Cylinders, SizeMin: 4 << 10, SizeMax: 128 << 10,
+		}.MustGenerate()
+		mkShadow := [](func() sched.Scheduler){
+			func() sched.Scheduler { return sched.NewSCANEDF(50_000) },
+			func() sched.Scheduler { return sched.NewFCFS() },
+			func() sched.Scheduler { return sched.NewSSTF() },
+			func() sched.Scheduler { return sched.NewEDF() },
+		}
+		run := func(attach bool) ([]flatEvent, *Result) {
+			var events []flatEvent
+			cfg := Config{Disk: m, Scheduler: sched.NewCSCAN(),
+				Options: Options{DropLate: drop, Seed: seed, SampleRotation: true,
+					Trace: func(ev TraceEvent) { events = append(events, flatten(ev)) }}}
+			if attach {
+				dt := NewDecisionTrace(128)
+				dt.SetMetrics(&DecisionMetrics{})
+				cfg.Decisions = dt
+				cfg.Telemetry = NewTelemetry(40_000)
+				cfg.Telemetry.SetMetrics(&DecisionMetrics{})
+				a := NewShadow("a", mkShadow[int(shadowSel)%len(mkShadow)]())
+				b := NewShadow("b", mkShadow[int(shadowSel+1)%len(mkShadow)]())
+				a.SetMetrics(&DecisionMetrics{})
+				b.SetMetrics(&DecisionMetrics{})
+				cfg.Shadows = []*Shadow{a, b}
+			}
+			res, err := Run(cfg, smallTraceCopy(trace))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return events, res
+		}
+		evPlain, resPlain := run(false)
+		evShadowed, resShadowed := run(true)
+		if !reflect.DeepEqual(evPlain, evShadowed) {
+			t.Fatal("trace stream diverged with observability attached")
+		}
+		if !reflect.DeepEqual(resPlain.Collector, resShadowed.Collector) {
+			t.Fatal("collector diverged with observability attached")
+		}
+		if resPlain.HeadTravel != resShadowed.HeadTravel {
+			t.Fatal("head travel diverged with observability attached")
+		}
+		if len(resShadowed.Shadows) != 2 {
+			t.Fatalf("got %d shadow reports, want 2", len(resShadowed.Shadows))
+		}
+		for _, rep := range resShadowed.Shadows {
+			if rep.Agreements > rep.Decisions {
+				t.Fatalf("shadow %q: agreements %d > decisions %d", rep.Name, rep.Agreements, rep.Decisions)
+			}
+		}
+	})
+}

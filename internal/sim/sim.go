@@ -50,6 +50,21 @@ type Options struct {
 	// rebuild). A nil or zero plan leaves the run byte-identical to one
 	// without fault support.
 	Fault *fault.Plan
+	// Decisions, when non-nil, captures one DecisionRecord per dispatch
+	// decision (candidate set, chosen request, slack distribution, window
+	// state) into the trace's ring. Nil costs nothing.
+	Decisions *DecisionTrace
+	// Telemetry, when non-nil, samples per-station queue depth,
+	// utilization, value spread and slack distribution at the sampler's
+	// interval. Sampling is non-perturbing: the simulated trajectory is
+	// identical with or without it.
+	Telemetry *Telemetry
+	// Shadows attaches counterfactual schedulers that observe the same
+	// arrival stream and record what they would have dispatched, without
+	// perturbing the run. Each Shadow is single-use and attaches to the
+	// station of its Station index (0 on single-disk runs). Reports land
+	// in Result.Shadows in the same order.
+	Shadows []*Shadow
 }
 
 // Config configures one single-disk simulation run.
@@ -84,6 +99,9 @@ type Result struct {
 	// Faults snapshots the fault injector's counters; nil when the run
 	// had no (or a zero) fault plan.
 	Faults *fault.Stats
+	// Shadows holds one divergence report per attached shadow, in
+	// Options.Shadows order; empty when the run had none.
+	Shadows []ShadowReport
 }
 
 // Run simulates trace (sorted by arrival time) under cfg as a one-station
@@ -121,6 +139,18 @@ func Run(cfg Config, trace []*core.Request) (*Result, error) {
 			Trace:    cfg.Trace,
 		}
 	}
+	eng.Decisions = cfg.Decisions
+	eng.Telemetry = cfg.Telemetry
+	for _, sh := range cfg.Shadows {
+		if sh.Station != 0 {
+			return nil, fmt.Errorf("sim: shadow %q targets station %d on a single-disk run", sh.name, sh.Station)
+		}
+		if sh.used {
+			return nil, fmt.Errorf("sim: shadow %q already rode a run; shadows are single-use", sh.name)
+		}
+		sh.bind(st, cfg.DropLate)
+	}
+	st.shadows = cfg.Shadows
 	if !cfg.Fault.Zero() {
 		if cfg.Fault.FailAt > 0 {
 			return nil, fmt.Errorf("sim: whole-disk failure requires an array run")
@@ -145,6 +175,12 @@ func Run(cfg Config, trace []*core.Request) (*Result, error) {
 	if eng.Faults != nil {
 		fs := eng.Faults.Stats()
 		res.Faults = &fs
+	}
+	if len(cfg.Shadows) > 0 {
+		res.Shadows = make([]ShadowReport, len(cfg.Shadows))
+		for i, sh := range cfg.Shadows {
+			res.Shadows[i] = sh.Report()
+		}
 	}
 	return res, nil
 }

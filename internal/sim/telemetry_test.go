@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sfcsched/internal/sched"
+)
+
+func runTelemetry(t *testing.T, seed uint64) *Telemetry {
+	t.Helper()
+	tel := NewTelemetry(50_000)
+	tel.SetMetrics(&DecisionMetrics{})
+	MustRun(Config{
+		Disk: xp(), Scheduler: cascadedScheduler(),
+		Options: Options{DropLate: true, Telemetry: tel},
+	}, decisionWorkload(seed))
+	return tel
+}
+
+func TestTelemetrySampling(t *testing.T) {
+	tel := runTelemetry(t, 20)
+	if tel.Rows() == 0 {
+		t.Fatal("no telemetry rows sampled")
+	}
+	for i := 0; i < tel.Rows(); i++ {
+		if i > 0 && tel.Time[i] < tel.Time[i-1] {
+			t.Fatalf("row %d: time %d before previous %d", i, tel.Time[i], tel.Time[i-1])
+		}
+		if i > 0 && tel.Time[i]/tel.Interval == tel.Time[i-1]/tel.Interval {
+			t.Fatalf("row %d: two rows in one interval (%d, %d)", i, tel.Time[i-1], tel.Time[i])
+		}
+		if b := tel.Busy[i]; b < 0 || b > 1 {
+			t.Fatalf("row %d: utilization %v outside [0,1]", i, b)
+		}
+		if tel.Depth[i] < 0 || tel.VMin[i] > tel.VMax[i] {
+			t.Fatalf("row %d: malformed depth/value columns", i)
+		}
+		if tel.Deadlined[i] > 0 {
+			if tel.SlackP50[i] < tel.SlackMin[i] || tel.SlackP50[i] > tel.SlackMax[i] {
+				t.Fatalf("row %d: slack p50 outside [min, max]", i)
+			}
+		}
+	}
+	sawBusy, sawDepth := false, false
+	for i := 0; i < tel.Rows(); i++ {
+		if tel.Busy[i] > 0 {
+			sawBusy = true
+		}
+		if tel.Depth[i] > 0 {
+			sawDepth = true
+		}
+	}
+	if !sawBusy || !sawDepth {
+		t.Errorf("telemetry never saw activity (busy seen: %v, depth seen: %v)", sawBusy, sawDepth)
+	}
+}
+
+func TestTelemetryCSVDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := runTelemetry(t, 21).WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTelemetry(t, 21).WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("telemetry CSV not byte-identical across identical runs")
+	}
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	if lines[0] != strings.TrimRight(telemetryHeader, "\n") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	wantCols := strings.Count(telemetryHeader, ",") + 1
+	for i, line := range lines {
+		if got := strings.Count(line, ",") + 1; got != wantCols {
+			t.Fatalf("line %d has %d columns, want %d: %s", i, got, wantCols, line)
+		}
+	}
+}
+
+func TestTelemetryJSONL(t *testing.T) {
+	tel := runTelemetry(t, 22)
+	var buf bytes.Buffer
+	if err := tel.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != tel.Rows() {
+		t.Fatalf("%d JSONL lines for %d rows", len(lines), tel.Rows())
+	}
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("row %d is not valid JSON: %v", i, err)
+		}
+		for _, key := range []string{"time_us", "disk", "depth", "busy", "v_min", "v_max", "slack_p50"} {
+			if _, ok := obj[key]; !ok {
+				t.Fatalf("row %d missing %q", i, key)
+			}
+		}
+	}
+}
+
+// Reset must clear rows and sampling state so one sampler serves a sweep.
+func TestTelemetryReset(t *testing.T) {
+	tel := runTelemetry(t, 23)
+	var first bytes.Buffer
+	if err := tel.WriteCSV(&first); err != nil {
+		t.Fatal(err)
+	}
+	tel.Reset()
+	if tel.Rows() != 0 {
+		t.Fatalf("rows after Reset = %d", tel.Rows())
+	}
+	MustRun(Config{
+		Disk: xp(), Scheduler: cascadedScheduler(),
+		Options: Options{DropLate: true, Telemetry: tel},
+	}, decisionWorkload(23))
+	var second bytes.Buffer
+	if err := tel.WriteCSV(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("reset sampler diverged from fresh sampler on the identical run")
+	}
+}
+
+// Telemetry with a non-value scheduler records zero value columns.
+func TestTelemetryNonValueScheduler(t *testing.T) {
+	tel := NewTelemetry(50_000)
+	tel.SetMetrics(&DecisionMetrics{})
+	MustRun(Config{
+		Disk: xp(), Scheduler: sched.NewFCFS(),
+		Options: Options{Telemetry: tel},
+	}, decisionWorkload(24))
+	for i := 0; i < tel.Rows(); i++ {
+		if tel.VMin[i] != 0 || tel.VMax[i] != 0 {
+			t.Fatalf("row %d: FCFS exposes no values, got v_min=%d v_max=%d",
+				i, tel.VMin[i], tel.VMax[i])
+		}
+	}
+}
