@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"sync"
 
+	"sfcsched/internal/cluster"
 	"sfcsched/internal/core"
 	"sfcsched/internal/fault"
 	"sfcsched/internal/obs"
@@ -27,6 +28,7 @@ func newObsMux() *http.ServeMux {
 	core.DefaultMetrics.MustRegister(reg, "sfcsched")
 	fault.DefaultMetrics.MustRegister(reg, "sfcsched_fault")
 	sim.DefaultDecisionMetrics.MustRegister(reg, "sfcsched_decision")
+	cluster.DefaultMetrics.MustRegister(reg, "sfcsched_cluster")
 	publishOnce.Do(func() { reg.PublishExpvar("sfcsched") })
 
 	mux := http.NewServeMux()

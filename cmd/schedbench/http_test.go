@@ -46,6 +46,9 @@ func TestObsEndpoints(t *testing.T) {
 		"# TYPE sfcsched_decision_decisions_total counter",
 		"sfcsched_decision_shadow_disagreements_total",
 		"sfcsched_decision_candidate_depth_count",
+		"# TYPE sfcsched_cluster_arrivals_total counter",
+		"sfcsched_cluster_latency_us_count",
+		"sfcsched_cluster_node_depth_max",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)

@@ -173,6 +173,20 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 		}
 		render(a)
 		render(b)
+	case "cluster":
+		cfg := experiments.DefaultClusterConfig()
+		cfg.Seed = seed
+		cfg.Workers = workers
+		if requests > 0 {
+			cfg.Requests = requests
+		}
+		a, b, c, err := experiments.Cluster(cfg)
+		if err != nil {
+			return err
+		}
+		render(a)
+		render(b)
+		render(c)
 	case "fig11", "fig11raid":
 		cfg := experiments.DefaultFig11Config()
 		cfg.Seed = seed

@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"sfcsched/internal/cluster"
 	"sfcsched/internal/core"
 	"sfcsched/internal/disk"
 	"sfcsched/internal/fault"
@@ -53,6 +54,11 @@ func main() {
 		// Array workloads address logical blocks, not cylinders.
 		cylinders = int(array.MaxBlocks())
 	}
+	if opt.clusterNodes > 0 {
+		// Cluster workloads address the flat logical block space striped
+		// over every member disk.
+		cylinders = opt.clusterNodes * opt.clusterDisks * m.Cylinders
+	}
 	var trace []*core.Request
 	if opt.traceFile != "" {
 		f, err := os.Open(opt.traceFile)
@@ -84,6 +90,10 @@ func main() {
 			SizeMin:          opt.sizeMin,
 			SizeMax:          opt.sizeMax,
 			WriteFrac:        opt.writeFrac,
+			Tenants:          opt.tenants,
+			TenantSkew:       opt.tenantSkew,
+			TenantZones:      opt.tenantZones,
+			Classes:          opt.classes,
 		}.Generate()
 		if err != nil {
 			fatal(err)
@@ -134,6 +144,31 @@ func main() {
 	}
 	fmt.Println()
 	for _, name := range names {
+		if opt.clusterNodes > 0 {
+			res, err := runCluster(opt, m, name, trace, traceHook, telemetry)
+			if err != nil {
+				fatal(err)
+			}
+			var served, dropped, late uint64
+			for _, cs := range res.PerClass {
+				served += cs.Served
+				dropped += cs.AdmitDropped + cs.DispatchDropped
+				late += cs.Late
+			}
+			var seek, busy int64
+			for _, ns := range res.PerNode {
+				seek += ns.SeekTime
+				busy += ns.BusyTime
+			}
+			var inv uint64
+			for _, c := range res.PerDisk {
+				inv += c.TotalInversions()
+			}
+			fmt.Printf("%-12s %8d %8d %8d %10.2f %10.2f %12d\n",
+				name, served, dropped, late, float64(seek)/1e6, float64(busy)/1e6, inv)
+			printClusterReport(res)
+			continue
+		}
 		if array != nil {
 			ar, err := sim.RunArray(sim.ArrayConfig{
 				Array: array,
@@ -187,6 +222,54 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runCluster simulates one scheduler across the -cluster topology: every
+// member disk runs its own instance, requests route and admit per the
+// -router and -admit policies.
+func runCluster(opt options, m *disk.Model, name string, trace []*core.Request,
+	traceHook func(sim.TraceEvent), telemetry *sim.Telemetry) (*cluster.Result, error) {
+	cfg := cluster.Config{
+		Nodes: opt.clusterNodes, DisksPerNode: opt.clusterDisks, Disk: m,
+		NewScheduler: func(int, int) (sched.Scheduler, error) {
+			return build(name, m, opt.curve, opt.f, opt.r, opt.window, opt.levels, opt.dims, opt.deadlineMax.Microseconds())
+		},
+		Classes:  opt.classes,
+		Seed:     opt.seed,
+		DropLate: opt.drop,
+		Dims:     opt.dims, Levels: opt.levels,
+		Trace: traceHook, Telemetry: telemetry,
+	}
+	var err error
+	if cfg.Router, err = cluster.NewRouter(opt.router); err != nil {
+		return nil, err
+	}
+	if cfg.Admission, err = cluster.NewAdmitter(opt.admit, opt.classes, opt.admitRate, opt.admitBurst); err != nil {
+		return nil, err
+	}
+	return cluster.Run(cfg, trace)
+}
+
+// printClusterReport renders the per-class SLO ledger, the per-node
+// routing balance and the Jain fairness index of one cluster run.
+func printClusterReport(res *cluster.Result) {
+	fmt.Printf("  %-7s %8s %8s %8s %8s %8s %7s %9s %9s\n",
+		"class", "arrived", "admitted", "a-drop", "d-drop", "served", "loss%", "p50(ms)", "p99(ms)")
+	for _, cs := range res.PerClass {
+		q := cs.Latency.Quantiles(0.5, 0.99)
+		fmt.Printf("  %-7d %8d %8d %8d %8d %8d %7.2f %9.1f %9.1f\n",
+			cs.Class, cs.Arrived, cs.Admitted, cs.AdmitDropped, cs.DispatchDropped,
+			cs.Served, 100*cs.LossRate(), float64(q[0])/1e3, float64(q[1])/1e3)
+	}
+	fmt.Printf("  %-7s %8s %8s %8s %10s %10s\n",
+		"node", "routed", "served", "dropped", "seek(s)", "busy(s)")
+	for _, ns := range res.PerNode {
+		fmt.Printf("  %-7d %8d %8d %8d %10.2f %10.2f\n",
+			ns.Node, ns.Routed, ns.Served, ns.Dropped,
+			float64(ns.SeekTime)/1e6, float64(ns.BusyTime)/1e6)
+	}
+	fmt.Printf("  router %s, admission %s; Jain fairness over %d tenants: %.3f\n",
+		res.Router, res.Admission, len(res.Tenants), res.Jain())
 }
 
 // outWriter opens path for streaming output: "-" is stdout, anything else

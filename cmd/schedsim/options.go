@@ -39,6 +39,19 @@ type options struct {
 	telemetryOut      string
 	telemetryInterval time.Duration
 
+	// Cluster mode (PR 8): N arrays behind a routing policy and per-class
+	// admission control, with tenant- and class-tagged workloads.
+	clusterNodes int
+	clusterDisks int
+	router       string
+	admit        string
+	admitRate    int64
+	admitBurst   int64
+	tenants      int
+	tenantSkew   float64
+	tenantZones  bool
+	classes      int
+
 	// Fault injection (PR 5): transient errors on any topology, whole-disk
 	// failure and rebuild on arrays only.
 	faultRate       float64
@@ -78,6 +91,17 @@ func (o *options) register(fs *flag.FlagSet) {
 	fs.IntVar(&o.arrayDisks, "array", 0, "simulate a RAID-5 array with this many disks (0 = single disk)")
 	fs.Int64Var(&o.blockSize, "block", 64<<10, "array: logical block size, bytes")
 	fs.Float64Var(&o.writeFrac, "write-frac", 0, "array: fraction of logical writes (read-modify-write)")
+
+	fs.IntVar(&o.clusterNodes, "cluster", 0, "simulate a storage cluster with this many arrays (0 = single disk / -array)")
+	fs.IntVar(&o.clusterDisks, "cluster-disks", 1, "cluster: striped member disks per array")
+	fs.StringVar(&o.router, "router", "rr", "cluster: routing policy: rr, least, affinity")
+	fs.StringVar(&o.admit, "admit", "always", "cluster: admission policy: always, token")
+	fs.Int64Var(&o.admitRate, "admit-rate", 200, "cluster: token-bucket refill per SLO class, tokens/s")
+	fs.Int64Var(&o.admitBurst, "admit-burst", 50, "cluster: token-bucket burst per SLO class, tokens")
+	fs.IntVar(&o.tenants, "tenants", 0, "tag generated requests with this many zipf-popular tenants (0 = untagged)")
+	fs.Float64Var(&o.tenantSkew, "tenant-skew", 1.2, "tenant popularity skew (zipf s, 0 = uniform)")
+	fs.BoolVar(&o.tenantZones, "tenant-zones", false, "pin each tenant's requests to its own contiguous block zone")
+	fs.IntVar(&o.classes, "classes", 1, "SLO classes; generated requests get class = tenant mod classes")
 
 	fs.Float64Var(&o.faultRate, "fault-rate", 0, "probability a completed dispatch hits a transient fault")
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "fault injector seed (independent of the workload seed)")
@@ -135,6 +159,51 @@ func (o *options) validate() error {
 			if v != "" {
 				return fmt.Errorf("%s needs a single scheduler, not -sched all (outputs would interleave)", flagName)
 			}
+		}
+	}
+	if o.clusterNodes < 0 {
+		return fmt.Errorf("-cluster must not be negative, got %d", o.clusterNodes)
+	}
+	if o.tenants < 0 {
+		return fmt.Errorf("-tenants must not be negative, got %d", o.tenants)
+	}
+	if o.tenantSkew < 0 {
+		return fmt.Errorf("-tenant-skew must not be negative, got %v", o.tenantSkew)
+	}
+	if o.tenantZones && o.tenants == 0 {
+		return fmt.Errorf("-tenant-zones requires -tenants: there are no tenants to zone")
+	}
+	if o.classes < 1 {
+		return fmt.Errorf("-classes must be at least 1, got %d", o.classes)
+	}
+	if o.clusterNodes > 0 {
+		if o.clusterDisks < 1 {
+			return fmt.Errorf("-cluster-disks must be at least 1, got %d", o.clusterDisks)
+		}
+		if o.arrayDisks > 0 {
+			return fmt.Errorf("-cluster and -array are mutually exclusive topologies")
+		}
+		if o.shadowList != "" {
+			return fmt.Errorf("-shadow works on single-disk runs; cluster stations would need per-disk shadow sets")
+		}
+		if o.decisionOut != "" {
+			return fmt.Errorf("-decision-trace works on single-disk runs, not -cluster")
+		}
+		if o.faultRate > 0 || o.failDisk >= 0 {
+			return fmt.Errorf("fault injection is not wired into the cluster layer; drop the fault flags or -cluster")
+		}
+		switch o.router {
+		case "rr", "round-robin", "least", "least-loaded", "affinity":
+		default:
+			return fmt.Errorf("unknown -router %q (known: rr, least, affinity)", o.router)
+		}
+		switch o.admit {
+		case "always", "token", "token-bucket":
+		default:
+			return fmt.Errorf("unknown -admit %q (known: always, token)", o.admit)
+		}
+		if o.admit != "always" && (o.admitRate < 1 || o.admitBurst < 1) {
+			return fmt.Errorf("-admit-rate and -admit-burst must be at least 1, got %d and %d", o.admitRate, o.admitBurst)
 		}
 	}
 	if o.telemetryOut != "" && o.telemetryInterval <= 0 {

@@ -47,6 +47,19 @@ func TestValidateRejectsBadFlagCombinations(t *testing.T) {
 		{"deadline max below min", []string{"-deadline-min", "1s", "-deadline-max", "500ms"}, "-deadline-max"},
 		{"negative deadline min", []string{"-deadline-min", "-1s"}, "-deadline-min"},
 		{"size max below min", []string{"-size-min", "8192", "-size-max", "4096"}, "-size-min"},
+		{"negative cluster", []string{"-cluster", "-1"}, "-cluster"},
+		{"cluster zero disks", []string{"-cluster", "4", "-cluster-disks", "0"}, "-cluster-disks"},
+		{"cluster with array", []string{"-cluster", "4", "-array", "5"}, "mutually exclusive"},
+		{"cluster with shadow", []string{"-cluster", "4", "-shadow", "fcfs"}, "-shadow"},
+		{"cluster with decision trace", []string{"-cluster", "4", "-decision-trace", "-"}, "-decision-trace"},
+		{"cluster with fault rate", []string{"-cluster", "4", "-fault-rate", "0.1"}, "fault injection"},
+		{"cluster unknown router", []string{"-cluster", "4", "-router", "random"}, "-router"},
+		{"cluster unknown admit", []string{"-cluster", "4", "-admit", "priority"}, "-admit"},
+		{"cluster zero admit rate", []string{"-cluster", "4", "-admit", "token", "-admit-rate", "0"}, "-admit-rate"},
+		{"negative tenants", []string{"-tenants", "-2"}, "-tenants"},
+		{"negative tenant skew", []string{"-tenants", "4", "-tenant-skew", "-1"}, "-tenant-skew"},
+		{"zones without tenants", []string{"-tenant-zones"}, "-tenant-zones"},
+		{"zero classes", []string{"-classes", "0"}, "-classes"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -69,6 +82,9 @@ func TestValidateAcceptsGoodFlagCombinations(t *testing.T) {
 		{"-fault-rate", "1", "-retry-base", "0"},
 		// Trace replay skips the workload-shape checks entirely.
 		{"-trace", "run.csv", "-requests", "0", "-dims", "0"},
+		{"-cluster", "4", "-router", "least", "-admit", "token", "-tenants", "8", "-tenant-zones", "-classes", "3"},
+		{"-cluster", "2", "-cluster-disks", "3", "-router", "affinity", "-telemetry", "t.csv"},
+		{"-tenants", "5", "-tenant-skew", "0"},
 	}
 	for _, args := range cases {
 		if err := parse(t, args...).validate(); err != nil {

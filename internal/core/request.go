@@ -33,6 +33,13 @@ type Request struct {
 	// Value is an optional application-assigned worth, used by value-based
 	// baselines (BUCKET, SSEDV). Higher is worth more.
 	Value int
+	// Tenant identifies the issuing tenant in multi-tenant cluster runs;
+	// single-disk and array workloads leave it 0.
+	Tenant int
+	// Class is the tenant's SLO class, 0 being the most stringent. The
+	// cluster layer accounts admission drops, deadline losses and latency
+	// per class.
+	Class int
 }
 
 // HigherPriorityIn reports whether r has strictly higher priority than s in

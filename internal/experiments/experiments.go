@@ -157,5 +157,5 @@ func ratio(num, den float64) float64 {
 // the degraded array; divergence is the PR-7 counterfactual
 // shadow-scheduler sweep.
 func All() []string {
-	return []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig11raid", "faultsweep", "divergence"}
+	return []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig11raid", "faultsweep", "divergence", "cluster"}
 }

@@ -18,6 +18,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 )
@@ -148,7 +149,11 @@ func (h *Histogram) Quantiles(qs ...float64) []uint64 {
 	return out
 }
 
-// quantileOf estimates the q-quantile of a bucket snapshot.
+// quantileOf estimates the q-quantile of a bucket snapshot using the
+// nearest-rank convention: the value at rank ceil(q·total) (1-based),
+// clamped to [1, total]. A floor here would bias even-count medians to
+// the upper element and make p99 of exactly 100 samples return the 100th
+// rather than the 99th value.
 func quantileOf(s *[histBuckets]uint64, q float64) uint64 {
 	var total uint64
 	for _, c := range s {
@@ -163,14 +168,17 @@ func quantileOf(s *[histBuckets]uint64, q float64) uint64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
 	}
 	var seen uint64
 	for k, c := range s {
 		seen += c
-		if seen > rank {
+		if seen >= rank {
 			return BucketBound(k)
 		}
 	}

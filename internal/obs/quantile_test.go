@@ -73,6 +73,63 @@ func TestQuantilesBimodal(t *testing.T) {
 	}
 }
 
+// Nearest-rank boundary behavior: the estimate is the value at rank
+// ceil(q·total), 1-based, clamped to [1, total]. The distributions place
+// neighboring ranks in different log2 buckets, so the old floor-based
+// rank produces a different bucket bound and these cases fail pre-fix.
+func TestQuantileNearestRankBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		obs  []uint64 // value repeated count times, as {value, count} pairs
+		q    float64
+		want uint64 // true nearest-rank value; estimate is its bucket bound
+	}{
+		// Even-count median: rank ceil(0.5·2)=1 is the LOWER element.
+		// 63 and 64 straddle a bucket boundary (63 | 64..127).
+		{"even-median-lower", []uint64{63, 1, 64, 1}, 0.5, 63},
+		// p99 of exactly 100 samples is the 99th value, not the 100th.
+		{"p99-of-100", []uint64{10, 99, 1000, 1}, 0.99, 10},
+		// q=0 clamps to rank 1: the minimum.
+		{"q0-min", []uint64{63, 1, 64, 1}, 0, 63},
+		// q=1 is rank total: the maximum.
+		{"q1-max", []uint64{63, 1, 64, 1}, 1, 64},
+		// total=1: every q returns the single value.
+		{"single-q0", []uint64{64, 1}, 0, 64},
+		{"single-q50", []uint64{64, 1}, 0.5, 64},
+		{"single-q1", []uint64{64, 1}, 1, 64},
+		// total=100 uniform over a bucket boundary: values 28..127, so
+		// p50 is the 50th value 77, p99 the 99th value 126.
+		{"hundred-p50", uniformPairs(28, 127), 0.5, 77},
+		{"hundred-p99", uniformPairs(28, 127), 0.99, 126},
+		// Out-of-range probes clamp like q=0 / q=1.
+		{"q-below-zero", []uint64{63, 1, 64, 1}, -0.5, 63},
+		{"q-above-one", []uint64{63, 1, 64, 1}, 1.5, 64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for i := 0; i+1 < len(tc.obs); i += 2 {
+				for n := uint64(0); n < tc.obs[i+1]; n++ {
+					h.Observe(tc.obs[i])
+				}
+			}
+			if got, want := h.Quantile(tc.q), bucketCeil(tc.want); got != want {
+				t.Errorf("Quantile(%v) = %d, want bucket bound %d of nearest-rank value %d",
+					tc.q, got, want, tc.want)
+			}
+		})
+	}
+}
+
+// uniformPairs builds {value, 1} pairs for every value in [lo, hi].
+func uniformPairs(lo, hi uint64) []uint64 {
+	var out []uint64
+	for v := lo; v <= hi; v++ {
+		out = append(out, v, 1)
+	}
+	return out
+}
+
 func TestQuantilesMatchesQuantile(t *testing.T) {
 	var h Histogram
 	for v := uint64(0); v < 300; v += 7 {

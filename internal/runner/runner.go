@@ -38,9 +38,12 @@ func Workers(n int) int {
 // per-cell state; it may freely read shared inputs. A single worker (or
 // n <= 1) degenerates to an in-order sequential loop with no goroutines.
 //
-// The error returned is the lowest-indexed one — the first a sequential
-// sweep would have surfaced — regardless of completion order; the results
-// of every cell that did run are returned alongside it.
+// Every cell runs exactly once regardless of errors or worker count: a
+// failing cell does not stop the sweep, so side effects (trace files,
+// metrics, partial results) are identical whether the sweep ran on one
+// worker or many. The error returned is the lowest-indexed one, with the
+// results of every cell — including those after the failure — alongside
+// it.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -51,14 +54,15 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		w = n
 	}
 	if w <= 1 {
+		var first error
 		for i := 0; i < n; i++ {
-			r, err := fn(i)
-			if err != nil {
-				return results, err
+			var err error
+			results[i], err = fn(i)
+			if err != nil && first == nil {
+				first = err
 			}
-			results[i] = r
 		}
-		return results, nil
+		return results, first
 	}
 	errs := make([]error, n)
 	var next atomic.Int64

@@ -85,6 +85,42 @@ func TestMapEmpty(t *testing.T) {
 	}
 }
 
+// A mid-sweep error must not stop later cells: both the sequential and
+// the parallel path run every cell exactly once, so side effects after a
+// failure do not depend on the worker count. Pre-fix, the sequential path
+// aborted at the first error and cells 4..9 never ran.
+func TestMapErrorStillRunsAllCells(t *testing.T) {
+	errMid := errors.New("cell 3 failed")
+	const n = 10
+	for _, w := range []int{1, 4} {
+		var counts [n]atomic.Int32
+		got, err := Map(w, n, func(i int) (int, error) {
+			counts[i].Add(1)
+			if i == 3 {
+				return 0, errMid
+			}
+			return i * 10, nil
+		})
+		if err != errMid {
+			t.Errorf("workers=%d: err = %v, want %v", w, err, errMid)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Errorf("workers=%d: cell %d ran %d times, want 1", w, i, c)
+			}
+		}
+		for i, v := range got {
+			want := i * 10
+			if i == 3 {
+				want = 0
+			}
+			if v != want {
+				t.Errorf("workers=%d: results[%d] = %d, want %d", w, i, v, want)
+			}
+		}
+	}
+}
+
 // Each cell runs exactly once even when workers far outnumber cells.
 func TestMapRunsEachCellOnce(t *testing.T) {
 	const n = 7

@@ -298,6 +298,9 @@ func (e *Engine) Run(trace []*core.Request, deliver func(r *core.Request, now in
 			e.Telemetry.sample(e, t)
 		}
 	}
+	if e.Telemetry != nil {
+		e.Telemetry.closeRun(e, e.now)
+	}
 	return e.now
 }
 

@@ -19,7 +19,10 @@ import (
 // schedules events of its own, so it is provably non-perturbing — the
 // event sequence with telemetry attached is identical to one without.
 // (The cost is that rows land at event times at-or-after each boundary,
-// and an idle tail with no events produces no rows.)
+// not exactly on it.) When the engine completes, one closing row per
+// station is recorded at the final event time, so the last partial
+// interval is covered and per-station utilization sums span the whole
+// run; only an entirely empty run produces no rows.
 //
 // All columns have one entry per row; row i describes station Disk[i] at
 // time Time[i]. Scratch buffers are reused, so steady-state sampling
@@ -110,6 +113,23 @@ func (tel *Telemetry) Reset() {
 // round; read-only with respect to simulation state.
 func (tel *Telemetry) sample(e *Engine, t int64) {
 	if t < tel.next {
+		return
+	}
+	for _, st := range e.Stations {
+		tel.sampleStation(st, t)
+	}
+	tel.prevTime = t
+	tel.next = (t/tel.Interval + 1) * tel.Interval
+	tel.m.TelemetrySamples.Add(uint64(len(e.Stations)))
+}
+
+// closeRun records the final partial interval: one closing row per
+// station stamped at the engine's completion time. Called once from
+// Engine.Run after the event loop drains; a no-op when the run already
+// ended exactly on a sampled row, or when the run was empty, so rows are
+// never duplicated.
+func (tel *Telemetry) closeRun(e *Engine, t int64) {
+	if t <= tel.prevTime {
 		return
 	}
 	for _, st := range e.Stations {

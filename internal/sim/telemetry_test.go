@@ -29,7 +29,10 @@ func TestTelemetrySampling(t *testing.T) {
 		if i > 0 && tel.Time[i] < tel.Time[i-1] {
 			t.Fatalf("row %d: time %d before previous %d", i, tel.Time[i], tel.Time[i-1])
 		}
-		if i > 0 && tel.Time[i]/tel.Interval == tel.Time[i-1]/tel.Interval {
+		// The final row closes the run at the completion time and may
+		// share the last sampled row's interval; every other boundary
+		// lands at most one row per interval.
+		if i > 0 && i < tel.Rows()-1 && tel.Time[i]/tel.Interval == tel.Time[i-1]/tel.Interval {
 			t.Fatalf("row %d: two rows in one interval (%d, %d)", i, tel.Time[i-1], tel.Time[i])
 		}
 		if b := tel.Busy[i]; b < 0 || b > 1 {
@@ -55,6 +58,53 @@ func TestTelemetrySampling(t *testing.T) {
 	}
 	if !sawBusy || !sawDepth {
 		t.Errorf("telemetry never saw activity (busy seen: %v, depth seen: %v)", sawBusy, sawDepth)
+	}
+}
+
+// The engine emits one closing row per station at completion, so the
+// final partial interval is covered: the last row must be stamped at the
+// run's makespan and the per-row utilization must integrate to the
+// collector's total service time. Pre-fix, sampling stopped at the last
+// interval boundary an event happened to cross and the tail was lost.
+func TestTelemetryClosingRow(t *testing.T) {
+	tel := NewTelemetry(50_000)
+	tel.SetMetrics(&DecisionMetrics{})
+	res := MustRun(Config{
+		Disk: xp(), Scheduler: cascadedScheduler(),
+		Options: Options{DropLate: true, Telemetry: tel},
+	}, decisionWorkload(20))
+	if tel.Rows() == 0 {
+		t.Fatal("no telemetry rows sampled")
+	}
+	last := tel.Rows() - 1
+	if tel.Time[last] != res.Makespan {
+		t.Fatalf("last row at %d µs, want run makespan %d µs", tel.Time[last], res.Makespan)
+	}
+	// Utilization rows now tile the full run. Σ busy·dt can undercount
+	// (service credited at completion clamps to 1.0 within one row) but
+	// never overcount, and with the tail covered it must land close.
+	var covered float64
+	prev := int64(0)
+	for i := 0; i < tel.Rows(); i++ {
+		covered += tel.Busy[i] * float64(tel.Time[i]-prev)
+		prev = tel.Time[i]
+	}
+	want := float64(res.ServiceTime)
+	if covered > want+1 || covered < 0.85*want {
+		t.Fatalf("utilization integrates to %.1f µs of service, collector says %d µs", covered, res.ServiceTime)
+	}
+}
+
+// An empty run produces no closing rows.
+func TestTelemetryEmptyRunNoRows(t *testing.T) {
+	tel := NewTelemetry(50_000)
+	tel.SetMetrics(&DecisionMetrics{})
+	MustRun(Config{
+		Disk: xp(), Scheduler: cascadedScheduler(),
+		Options: Options{Telemetry: tel},
+	}, nil)
+	if tel.Rows() != 0 {
+		t.Fatalf("empty run sampled %d rows", tel.Rows())
 	}
 }
 

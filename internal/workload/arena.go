@@ -71,6 +71,7 @@ func (w Open) GenerateArena(a *Arena) ([]*core.Request, error) {
 	if w.Dist == Zipf {
 		zipf = stats.NewZipf(rng.Split(), w.Levels, 1.0)
 	}
+	tzipf := w.tenantZipf()
 	reqs := a.requests(w.Count)
 	prio := a.priorities(w.Count * w.Dims)
 	ptrs := a.pointers(w.Count)
@@ -82,7 +83,7 @@ func (w Open) GenerateArena(a *Arena) ([]*core.Request, error) {
 			// by a caller can never bleed into its neighbor's levels.
 			r.Priorities = prio[i*w.Dims : (i+1)*w.Dims : (i+1)*w.Dims]
 		}
-		w.genOne(i, &now, &rng, zipf, r)
+		w.genOne(i, &now, &rng, zipf, tzipf, r)
 		ptrs[i] = r
 	}
 	return ptrs, nil

@@ -24,6 +24,11 @@ func openVariants() []Open {
 			Cylinders: 100, SizeMin: 4 << 10, SizeMax: 256 << 10},
 		{Seed: 4, Count: 200, MeanInterarrival: 5_000, Dims: 0, Levels: 1,
 			DeadlineMin: 50_000, DeadlineMax: 50_000},
+		{Seed: 5, Count: 400, MeanInterarrival: 8_000, Dims: 2, Levels: 8,
+			DeadlineMin: 100_000, DeadlineMax: 300_000, Cylinders: 4096,
+			Size: 64 << 10, Tenants: 12, TenantSkew: 1.2, Classes: 3, TenantZones: true},
+		{Seed: 6, Count: 300, MeanInterarrival: 8_000, Dims: 1, Levels: 4,
+			Cylinders: 1000, Size: 32 << 10, Tenants: 5, Classes: 2, WriteFrac: 0.25},
 	}
 }
 

@@ -67,6 +67,24 @@ type Open struct {
 	// ValueLevels, when positive, assigns a uniform application value in
 	// [1, ValueLevels] (for value-based baselines).
 	ValueLevels int
+	// Tenants, when positive, tags each request with a tenant drawn
+	// Zipf(TenantSkew) over [0, Tenants) from a private RNG stream, and an
+	// SLO class (tenant mod Classes). Zero leaves tenant tagging off and
+	// consumes no extra RNG draws, so existing traces are unchanged.
+	Tenants int
+	// TenantSkew is the Zipf exponent of the tenant draw: 0 is uniform,
+	// larger values concentrate traffic on low-numbered tenants (the
+	// skewed-tenant overload scenarios of the cluster experiments).
+	TenantSkew float64
+	// Classes is the number of SLO classes when Tenants > 0; values < 1
+	// are treated as 1 (every request in class 0).
+	Classes int
+	// TenantZones, when set (with Tenants > 0), confines tenant t's
+	// requests to its own contiguous cylinder/block zone
+	// [t·Cylinders/Tenants, (t+1)·Cylinders/Tenants) instead of the whole
+	// range — data locality per tenant, which makes affinity routing
+	// meaningful.
+	TenantZones bool
 }
 
 func (w Open) validate() error {
@@ -82,15 +100,36 @@ func (w Open) validate() error {
 	if w.DeadlineMax < w.DeadlineMin {
 		return fmt.Errorf("workload: DeadlineMax < DeadlineMin")
 	}
+	if w.Tenants < 0 || w.TenantSkew < 0 {
+		return fmt.Errorf("workload: Tenants and TenantSkew must be non-negative")
+	}
+	if w.TenantZones && w.Tenants > 0 && w.Cylinders > 0 && w.Cylinders < w.Tenants {
+		return fmt.Errorf("workload: TenantZones needs Cylinders >= Tenants, got %d < %d", w.Cylinders, w.Tenants)
+	}
 	return nil
+}
+
+// tenantZipf builds the private tenant-draw stream when tenant tagging is
+// on. The stream is derived from the seed with a fixed offset rather than
+// split off the main RNG, so enabling tagging consumes no draw from the
+// main stream and an otherwise identical configuration generates the same
+// arrivals, priorities, deadlines, sizes and writes. With Tenants == 0 it
+// returns nil.
+func (w Open) tenantZipf() *stats.Zipf {
+	if w.Tenants <= 0 {
+		return nil
+	}
+	return stats.NewZipf(stats.NewRNG(w.Seed^0x9E3779B97F4A7C15), w.Tenants, w.TenantSkew)
 }
 
 // genOne fills the i-th request into r, advancing the arrival clock. The
 // caller provides r zeroed except for Priorities, which must already have
 // length w.Dims (backed by an arena slab or a fresh allocation); both
 // Generate forms funnel through here, so they consume the RNG stream
-// identically draw for draw.
-func (w Open) genOne(i int, now *int64, rng *stats.RNG, zipf *stats.Zipf, r *core.Request) {
+// identically draw for draw. tzipf is non-nil iff Tenants > 0; the tenant
+// draws come from its private stream, so tagging never perturbs the main
+// stream of an otherwise identical configuration.
+func (w Open) genOne(i int, now *int64, rng *stats.RNG, zipf, tzipf *stats.Zipf, r *core.Request) {
 	*now += int64(rng.Exponential(float64(w.MeanInterarrival)))
 	r.ID = uint64(i + 1)
 	r.Arrival = *now
@@ -111,8 +150,23 @@ func (w Open) genOne(i int, now *int64, rng *stats.RNG, zipf *stats.Zipf, r *cor
 		}
 		r.Size = w.SizeMin + (w.SizeMax-w.SizeMin)*sum/int64(w.Dims*(w.Levels-1))
 	}
+	if tzipf != nil {
+		r.Tenant = tzipf.Draw()
+		if w.Classes > 1 {
+			r.Class = r.Tenant % w.Classes
+		}
+	}
 	if w.Cylinders > 0 {
-		r.Cylinder = rng.Intn(w.Cylinders)
+		if tzipf != nil && w.TenantZones {
+			lo := r.Tenant * w.Cylinders / w.Tenants
+			hi := (r.Tenant + 1) * w.Cylinders / w.Tenants
+			if hi <= lo {
+				hi = lo + 1
+			}
+			r.Cylinder = lo + rng.Intn(hi-lo)
+		} else {
+			r.Cylinder = rng.Intn(w.Cylinders)
+		}
 	}
 	if w.WriteFrac > 0 && rng.Float64() < w.WriteFrac {
 		r.Write = true
@@ -132,6 +186,7 @@ func (w Open) Generate() ([]*core.Request, error) {
 	if w.Dist == Zipf {
 		zipf = stats.NewZipf(rng.Split(), w.Levels, 1.0)
 	}
+	tzipf := w.tenantZipf()
 	reqs := make([]*core.Request, 0, w.Count)
 	now := int64(0)
 	for i := 0; i < w.Count; i++ {
@@ -139,7 +194,7 @@ func (w Open) Generate() ([]*core.Request, error) {
 		if w.Dims > 0 {
 			r.Priorities = make([]int, w.Dims)
 		}
-		w.genOne(i, &now, rng, zipf, r)
+		w.genOne(i, &now, rng, zipf, tzipf, r)
 		reqs = append(reqs, r)
 	}
 	return reqs, nil

@@ -126,10 +126,61 @@ func TestOpenValidation(t *testing.T) {
 		{Count: 10},
 		{Count: 10, MeanInterarrival: 100, Levels: 0},
 		{Count: 10, MeanInterarrival: 100, Levels: 4, DeadlineMin: 10, DeadlineMax: 5},
+		{Count: 10, MeanInterarrival: 100, Levels: 4, Tenants: -1},
+		{Count: 10, MeanInterarrival: 100, Levels: 4, Tenants: 4, TenantSkew: -0.5},
+		{Count: 10, MeanInterarrival: 100, Levels: 4, Tenants: 8, Cylinders: 4, TenantZones: true},
 	}
 	for i, cfg := range bad {
 		if _, err := cfg.Generate(); err == nil {
 			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestOpenTenantTagging(t *testing.T) {
+	cfg := openCfg()
+	cfg.Tenants = 10
+	cfg.TenantSkew = 1.2
+	cfg.Classes = 3
+	cfg.TenantZones = true
+	var perTenant [10]int
+	for _, r := range cfg.MustGenerate() {
+		if r.Tenant < 0 || r.Tenant >= cfg.Tenants {
+			t.Fatalf("tenant %d out of [0,%d)", r.Tenant, cfg.Tenants)
+		}
+		if r.Class != r.Tenant%cfg.Classes {
+			t.Fatalf("tenant %d has class %d, want %d", r.Tenant, r.Class, r.Tenant%cfg.Classes)
+		}
+		lo := r.Tenant * cfg.Cylinders / cfg.Tenants
+		hi := (r.Tenant + 1) * cfg.Cylinders / cfg.Tenants
+		if r.Cylinder < lo || r.Cylinder >= hi {
+			t.Fatalf("tenant %d cylinder %d outside its zone [%d,%d)", r.Tenant, r.Cylinder, lo, hi)
+		}
+		perTenant[r.Tenant]++
+	}
+	// Zipf skew 1.2 concentrates traffic on the low tenants.
+	if perTenant[0] <= perTenant[9] {
+		t.Errorf("skew 1.2 gave tenant 0 %d requests vs tenant 9's %d", perTenant[0], perTenant[9])
+	}
+}
+
+// Tenant tagging must not perturb the main RNG stream: the same config
+// with Tenants on and off produces identical arrivals, priorities,
+// deadlines, sizes and writes (cylinders differ only under TenantZones).
+func TestOpenTenantTaggingPreservesStream(t *testing.T) {
+	base := openCfg()
+	base.WriteFrac = 0.3
+	tagged := base
+	tagged.Tenants = 7
+	tagged.TenantSkew = 0.8
+	tagged.Classes = 2
+	a, b := base.MustGenerate(), tagged.MustGenerate()
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Deadline != b[i].Deadline ||
+			a[i].Cylinder != b[i].Cylinder || a[i].Size != b[i].Size ||
+			a[i].Write != b[i].Write || a[i].Priorities[1] != b[i].Priorities[1] {
+			t.Fatalf("request %d diverged when tenant tagging was enabled:\noff: %+v\non:  %+v",
+				i, *a[i], *b[i])
 		}
 	}
 }
