@@ -12,6 +12,7 @@ import (
 	"sfcsched/internal/core"
 	"sfcsched/internal/fault"
 	"sfcsched/internal/obs"
+	"sfcsched/internal/serve"
 	"sfcsched/internal/sim"
 )
 
@@ -29,6 +30,8 @@ func newObsMux() *http.ServeMux {
 	fault.DefaultMetrics.MustRegister(reg, "sfcsched_fault")
 	sim.DefaultDecisionMetrics.MustRegister(reg, "sfcsched_decision")
 	cluster.DefaultMetrics.MustRegister(reg, "sfcsched_cluster")
+	serve.DefaultMetrics.MustRegister(reg, "sfcsched_serve")
+	serve.DefaultCalibMetrics.MustRegister(reg, "sfcsched_calib")
 	publishOnce.Do(func() { reg.PublishExpvar("sfcsched") })
 
 	mux := http.NewServeMux()

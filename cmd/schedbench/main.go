@@ -1,10 +1,14 @@
-// Command schedbench regenerates the paper's tables and figures.
+// Command schedbench regenerates the paper's tables and figures, and —
+// with -serve — lifts the scheduler out of the simulator onto a
+// real-clock serving path against an emulated disk.
 //
 // Usage:
 //
 //	schedbench -exp all                # run every experiment
 //	schedbench -exp fig5               # one experiment
 //	schedbench -exp fig10 -requests 8000 -seed 7
+//	schedbench -exp calibrate -dilations 10,50,250
+//	schedbench -serve -dilation 100 -serve-for 2s -http :9090
 //
 // Output is a text table per figure: the shared x-axis followed by one
 // column per series, matching the series of the corresponding plot in the
@@ -22,45 +26,50 @@ import (
 )
 
 func main() {
-	var (
-		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(experiments.All(), ", ")+", ablations, micro, or all")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		requests = flag.Int("requests", 0, "override request count (0 = experiment default)")
-		users    = flag.String("users", "", "fig11 only: comma-separated user counts")
-		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		workers  = flag.Int("workers", 0, "parallel simulation workers for sweep experiments (0 = GOMAXPROCS); output is identical for any value")
-		httpAddr = flag.String("http", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof/ on this address, and stay alive after the experiments finish (e.g. :9090)")
-	)
+	var o options
+	o.register(flag.CommandLine)
 	flag.Parse()
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "schedbench: %v\n", err)
+		os.Exit(2)
+	}
 
-	if *httpAddr != "" {
-		ln, err := serveObs(*httpAddr)
+	if o.httpAddr != "" {
+		ln, err := serveObs(o.httpAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "schedbench: observability on http://%s/metrics (pprof at /debug/pprof/)\n", ln.Addr())
 		defer func() {
-			fmt.Fprintf(os.Stderr, "schedbench: experiments done; serving http://%s until interrupted\n", ln.Addr())
+			fmt.Fprintf(os.Stderr, "schedbench: work done; serving http://%s until interrupted\n", ln.Addr())
 			select {}
 		}()
 	}
 
+	if o.serve {
+		if err := runServe(os.Stdout, &o); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	ids := experiments.All()
-	if *exp != "all" {
-		ids = strings.Split(*exp, ",")
+	if o.exp != "all" {
+		ids = strings.Split(o.exp, ",")
 	}
 	for _, id := range ids {
-		if err := run(os.Stdout, strings.TrimSpace(id), *seed, *requests, *users, *asCSV, *workers); err != nil {
+		if err := run(os.Stdout, strings.TrimSpace(id), &o); err != nil {
 			fmt.Fprintf(os.Stderr, "schedbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 	}
 }
 
-func run(out io.Writer, id string, seed uint64, requests int, users string, asCSV bool, workers int) error {
+func run(out io.Writer, id string, o *options) error {
 	render := func(r *experiments.Result) {
-		if asCSV {
+		if o.asCSV {
 			r.RenderCSV(out)
 		} else {
 			r.Render(out)
@@ -70,15 +79,15 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 	case "table1":
 		return experiments.Table1(out)
 	case "ablations":
-		return experiments.Ablations(out, seed, workers)
+		return experiments.Ablations(out, o.seed, o.workers)
 	case "micro":
 		return runMicro(out)
 	case "fig5":
 		cfg := experiments.DefaultSFC1Config()
-		cfg.Seed = seed
-		cfg.Workers = workers
-		if requests > 0 {
-			cfg.Requests = requests
+		cfg.Seed = o.seed
+		cfg.Workers = o.workers
+		if o.requests > 0 {
+			cfg.Requests = o.requests
 		}
 		res, err := experiments.Fig5(cfg, nil)
 		if err != nil {
@@ -87,9 +96,9 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 		render(res)
 	case "fig6":
 		cfg := experiments.DefaultSFC1Config()
-		cfg.Seed = seed
-		if requests > 0 {
-			cfg.Requests = requests
+		cfg.Seed = o.seed
+		if o.requests > 0 {
+			cfg.Requests = o.requests
 		}
 		res, err := experiments.Fig6(cfg, nil, 0.05)
 		if err != nil {
@@ -98,9 +107,9 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 		render(res)
 	case "fig7":
 		cfg := experiments.DefaultSFC1Config()
-		cfg.Seed = seed
-		if requests > 0 {
-			cfg.Requests = requests
+		cfg.Seed = o.seed
+		if o.requests > 0 {
+			cfg.Requests = o.requests
 		}
 		a, b, err := experiments.Fig7(cfg, nil)
 		if err != nil {
@@ -110,9 +119,9 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 		render(b)
 	case "fig8":
 		cfg := experiments.DefaultSFC2Config()
-		cfg.Seed = seed
-		if requests > 0 {
-			cfg.Requests = requests
+		cfg.Seed = o.seed
+		if o.requests > 0 {
+			cfg.Requests = o.requests
 		}
 		a, b, err := experiments.Fig8(cfg, nil)
 		if err != nil {
@@ -122,10 +131,10 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 		render(b)
 	case "fig9":
 		cfg := experiments.DefaultSFC2Config()
-		cfg.Seed = seed
+		cfg.Seed = o.seed
 		cfg.Service = 26_000 // overload so every scheduler must sacrifice
-		if requests > 0 {
-			cfg.Requests = requests
+		if o.requests > 0 {
+			cfg.Requests = o.requests
 		}
 		rs, err := experiments.Fig9(cfg, 1)
 		if err != nil {
@@ -136,9 +145,9 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 		}
 	case "fig10":
 		cfg := experiments.DefaultSFC3Config()
-		cfg.Seed = seed
-		if requests > 0 {
-			cfg.Requests = requests
+		cfg.Seed = o.seed
+		if o.requests > 0 {
+			cfg.Requests = o.requests
 		}
 		a, b, c, err := experiments.Fig10(cfg, nil)
 		if err != nil {
@@ -149,10 +158,10 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 		render(c)
 	case "faultsweep":
 		cfg := experiments.DefaultFaultSweepConfig()
-		cfg.Seed = seed
-		cfg.Workers = workers
-		if requests > 0 {
-			cfg.Requests = requests
+		cfg.Seed = o.seed
+		cfg.Workers = o.workers
+		if o.requests > 0 {
+			cfg.Requests = o.requests
 		}
 		a, b, err := experiments.FaultSweep(cfg)
 		if err != nil {
@@ -162,10 +171,10 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 		render(b)
 	case "divergence":
 		cfg := experiments.DefaultDivergenceConfig()
-		cfg.Seed = seed
-		cfg.Workers = workers
-		if requests > 0 {
-			cfg.Requests = requests
+		cfg.Seed = o.seed
+		cfg.Workers = o.workers
+		if o.requests > 0 {
+			cfg.Requests = o.requests
 		}
 		a, b, err := experiments.Divergence(cfg)
 		if err != nil {
@@ -175,10 +184,10 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 		render(b)
 	case "cluster":
 		cfg := experiments.DefaultClusterConfig()
-		cfg.Seed = seed
-		cfg.Workers = workers
-		if requests > 0 {
-			cfg.Requests = requests
+		cfg.Seed = o.seed
+		cfg.Workers = o.workers
+		if o.requests > 0 {
+			cfg.Requests = o.requests
 		}
 		a, b, c, err := experiments.Cluster(cfg)
 		if err != nil {
@@ -187,13 +196,29 @@ func run(out io.Writer, id string, seed uint64, requests int, users string, asCS
 		render(a)
 		render(b)
 		render(c)
+	case "calibrate":
+		cfg := experiments.DefaultCalibrateConfig()
+		cfg.Seed = o.seed
+		if o.requests > 0 {
+			cfg.Requests = o.requests
+		}
+		if dils, err := o.parseDilations(); err != nil {
+			return err
+		} else if len(dils) > 0 {
+			cfg.Dilations = dils
+		}
+		res, err := experiments.Calibrate(cfg)
+		if err != nil {
+			return err
+		}
+		render(res)
 	case "fig11", "fig11raid":
 		cfg := experiments.DefaultFig11Config()
-		cfg.Seed = seed
-		cfg.Workers = workers
-		if users != "" {
+		cfg.Seed = o.seed
+		cfg.Workers = o.workers
+		if o.users != "" {
 			cfg.Users = nil
-			for _, f := range strings.Split(users, ",") {
+			for _, f := range strings.Split(o.users, ",") {
 				var u int
 				if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &u); err != nil {
 					return fmt.Errorf("bad user count %q: %v", f, err)

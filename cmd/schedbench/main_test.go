@@ -4,11 +4,22 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
+
+// testOptions returns an options value with the flag defaults, tweaked by
+// fn.
+func testOptions(fn func(*options)) *options {
+	o := &options{exp: "all", seed: 1, dilation: 100, inflight: 1}
+	if fn != nil {
+		fn(o)
+	}
+	return o
+}
 
 func TestRunTable1(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table1", 1, 0, "", false, 0); err != nil {
+	if err := run(&buf, "table1", testOptions(nil)); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "3832") {
@@ -22,7 +33,7 @@ func TestRunEveryExperimentReduced(t *testing.T) {
 	}
 	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
 		var buf bytes.Buffer
-		if err := run(&buf, id, 1, 600, "", false, 0); err != nil {
+		if err := run(&buf, id, testOptions(func(o *options) { o.requests = 600 })); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 		if !strings.Contains(buf.String(), "== "+id) {
@@ -30,7 +41,11 @@ func TestRunEveryExperimentReduced(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "fig11", 1, 0, "68,72", true, 2); err != nil {
+	if err := run(&buf, "fig11", testOptions(func(o *options) {
+		o.users = "68,72"
+		o.asCSV = true
+		o.workers = 2
+	})); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -39,12 +54,81 @@ func TestRunEveryExperimentReduced(t *testing.T) {
 	}
 }
 
+func TestRunCalibrateReduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock run")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "calibrate", testOptions(func(o *options) {
+		o.requests = 120
+		o.dilations = "40,80"
+		o.asCSV = true
+	})); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# calibrate") || !strings.Contains(out, "mape-pct") {
+		t.Errorf("calibrate CSV output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "\n40,") || !strings.Contains(out, "\n80,") {
+		t.Errorf("calibrate output missing sweep rows for -dilations override:\n%s", out)
+	}
+}
+
 func TestRunRejectsUnknown(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig99", 1, 0, "", false, 0); err == nil {
+	if err := run(&buf, "fig99", testOptions(nil)); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
-	if err := run(&buf, "fig11", 1, 0, "abc", false, 0); err == nil {
+	if err := run(&buf, "fig11", testOptions(func(o *options) { o.users = "abc" })); err == nil {
 		t.Error("expected error for malformed user list")
+	}
+	if err := run(&buf, "calibrate", testOptions(func(o *options) { o.dilations = "10,-2" })); err == nil {
+		t.Error("expected error for negative dilation in sweep")
+	}
+}
+
+func TestRunServeOnePass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock run")
+	}
+	var buf bytes.Buffer
+	o := testOptions(func(o *options) {
+		o.serve = true
+		o.requests = 60
+		o.dilation = 5_000 // compress hard; accuracy is not under test here
+	})
+	if err := runServe(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "submitted 60 served 60") {
+		t.Errorf("serve summary missing counts:\n%s", out)
+	}
+	if !strings.Contains(out, "1 cycles") {
+		t.Errorf("serve summary should report one cycle without -serve-for:\n%s", out)
+	}
+}
+
+func TestRunServeRepeats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock run")
+	}
+	var buf bytes.Buffer
+	o := testOptions(func(o *options) {
+		o.serve = true
+		o.requests = 40
+		o.dilation = 10_000
+		o.serveFor = 300 * time.Millisecond
+	})
+	if err := runServe(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, " 1 cycles") || strings.Contains(out, " 0 cycles") {
+		t.Errorf("serve with -serve-for should complete several cycles:\n%s", out)
+	}
+	if !strings.Contains(out, "rejected 0 abandoned 0") {
+		t.Errorf("drain after feeding should lose nothing:\n%s", out)
 	}
 }

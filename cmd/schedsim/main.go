@@ -100,6 +100,13 @@ func main() {
 		}
 	}
 
+	if opt.serve {
+		if err := runServeCalib(os.Stdout, opt, m, trace); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	names := []string{opt.sched}
 	if opt.sched == "all" {
 		names = []string{"cascaded", "fcfs", "sstf", "scan", "cscan", "edf", "scan-edf",
@@ -348,22 +355,9 @@ func build(name string, m *disk.Model, curve string, f float64, r int, window fl
 	est := m.ServiceTime
 	switch name {
 	case "cascaded":
-		cv, err := sfc.New(curve, dims, uint32(levels))
+		cfg, err := cascadedConfig(m, curve, f, r, levels, dims, horizon)
 		if err != nil {
 			return nil, err
-		}
-		cfg := core.EncapsulatorConfig{Curve1: cv, Levels: levels}
-		if horizon > 0 {
-			cfg.UseDeadline = true
-			cfg.F = f
-			cfg.DeadlineHorizon = horizon
-			cfg.DeadlineSpan = horizon
-			cfg.DeadlineSlack = true
-		}
-		if r > 0 {
-			cfg.UseCylinder = true
-			cfg.R = r
-			cfg.Cylinders = m.Cylinders
 		}
 		return core.NewScheduler("cascaded", cfg,
 			core.DispatcherConfig{Mode: core.ConditionallyPreemptive, SP: true}, window)
@@ -396,6 +390,31 @@ func build(name string, m *disk.Model, curve string, f float64, r int, window fl
 	default:
 		return nil, fmt.Errorf("unknown scheduler %q", name)
 	}
+}
+
+// cascadedConfig translates the cascaded flags into the three-stage
+// encapsulator configuration. It is shared between build (the simulated
+// schedulers) and the -serve calibration path, so both sides of an
+// observe-predict-calibrate run schedule with exactly the same policy.
+func cascadedConfig(m *disk.Model, curve string, f float64, r int, levels, dims int, horizon int64) (core.EncapsulatorConfig, error) {
+	cv, err := sfc.New(curve, dims, uint32(levels))
+	if err != nil {
+		return core.EncapsulatorConfig{}, err
+	}
+	cfg := core.EncapsulatorConfig{Curve1: cv, Levels: levels}
+	if horizon > 0 {
+		cfg.UseDeadline = true
+		cfg.F = f
+		cfg.DeadlineHorizon = horizon
+		cfg.DeadlineSpan = horizon
+		cfg.DeadlineSlack = true
+	}
+	if r > 0 {
+		cfg.UseCylinder = true
+		cfg.R = r
+		cfg.Cylinders = m.Cylinders
+	}
+	return cfg, nil
 }
 
 func fatal(err error) {

@@ -52,6 +52,13 @@ type options struct {
 	tenantZones  bool
 	classes      int
 
+	// Serving layer (PR 9): run the generated trace through the live
+	// real-clock dispatcher alongside the simulator and report how well the
+	// simulation predicted the serving path.
+	serve    bool
+	dilation float64
+	inflight int
+
 	// Fault injection (PR 5): transient errors on any topology, whole-disk
 	// failure and rebuild on arrays only.
 	faultRate       float64
@@ -102,6 +109,10 @@ func (o *options) register(fs *flag.FlagSet) {
 	fs.Float64Var(&o.tenantSkew, "tenant-skew", 1.2, "tenant popularity skew (zipf s, 0 = uniform)")
 	fs.BoolVar(&o.tenantZones, "tenant-zones", false, "pin each tenant's requests to its own contiguous block zone")
 	fs.IntVar(&o.classes, "classes", 1, "SLO classes; generated requests get class = tenant mod classes")
+
+	fs.BoolVar(&o.serve, "serve", false, "calibrate the simulator against the live real-clock dispatcher on the same trace (cascaded only)")
+	fs.Float64Var(&o.dilation, "dilation", 100, "serve: model seconds covered per wall-clock second")
+	fs.IntVar(&o.inflight, "inflight", 1, "serve: concurrent backend services (1 = single-arm semantics)")
 
 	fs.Float64Var(&o.faultRate, "fault-rate", 0, "probability a completed dispatch hits a transient fault")
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "fault injector seed (independent of the workload seed)")
@@ -204,6 +215,31 @@ func (o *options) validate() error {
 		}
 		if o.admit != "always" && (o.admitRate < 1 || o.admitBurst < 1) {
 			return fmt.Errorf("-admit-rate and -admit-burst must be at least 1, got %d and %d", o.admitRate, o.admitBurst)
+		}
+	}
+	if !(o.dilation > 0) {
+		return fmt.Errorf("-dilation must be positive, got %v", o.dilation)
+	}
+	if o.inflight < 1 {
+		return fmt.Errorf("-inflight must be at least 1, got %d", o.inflight)
+	}
+	if o.serve {
+		if o.sched != "cascaded" {
+			return fmt.Errorf("-serve calibrates the cascaded scheduler; got -sched %s", o.sched)
+		}
+		if o.arrayDisks > 0 || o.clusterNodes > 0 {
+			return fmt.Errorf("-serve runs the single-disk serving path; drop -array/-cluster")
+		}
+		if o.faultRate > 0 || o.failDisk >= 0 {
+			return fmt.Errorf("fault injection is not wired into the serving path; drop the fault flags or -serve")
+		}
+		for flagName, v := range map[string]string{
+			"-decision-trace": o.decisionOut, "-shadow": o.shadowList,
+			"-telemetry": o.telemetryOut, "-dispatch-trace": o.dispatchOut,
+		} {
+			if v != "" {
+				return fmt.Errorf("%s records the simulated run; it does not apply to -serve", flagName)
+			}
 		}
 	}
 	if o.telemetryOut != "" && o.telemetryInterval <= 0 {

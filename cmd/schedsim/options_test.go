@@ -60,6 +60,18 @@ func TestValidateRejectsBadFlagCombinations(t *testing.T) {
 		{"negative tenant skew", []string{"-tenants", "4", "-tenant-skew", "-1"}, "-tenant-skew"},
 		{"zones without tenants", []string{"-tenant-zones"}, "-tenant-zones"},
 		{"zero classes", []string{"-classes", "0"}, "-classes"},
+		{"zero dilation", []string{"-serve", "-dilation", "0"}, "-dilation"},
+		{"negative dilation", []string{"-dilation", "-5"}, "-dilation"},
+		{"zero inflight", []string{"-inflight", "0"}, "-inflight"},
+		{"serve with baseline sched", []string{"-serve", "-sched", "scan"}, "cascaded"},
+		{"serve with all", []string{"-serve", "-sched", "all"}, "cascaded"},
+		{"serve with array", []string{"-serve", "-array", "5"}, "-array"},
+		{"serve with cluster", []string{"-serve", "-cluster", "4"}, "-cluster"},
+		{"serve with fault rate", []string{"-serve", "-fault-rate", "0.1"}, "fault injection"},
+		{"serve with shadow", []string{"-serve", "-shadow", "fcfs"}, "-shadow"},
+		{"serve with decision trace", []string{"-serve", "-decision-trace", "-"}, "-decision-trace"},
+		{"serve with telemetry", []string{"-serve", "-telemetry", "-"}, "-telemetry"},
+		{"serve with dispatch trace", []string{"-serve", "-dispatch-trace", "-"}, "-dispatch-trace"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -85,6 +97,9 @@ func TestValidateAcceptsGoodFlagCombinations(t *testing.T) {
 		{"-cluster", "4", "-router", "least", "-admit", "token", "-tenants", "8", "-tenant-zones", "-classes", "3"},
 		{"-cluster", "2", "-cluster-disks", "3", "-router", "affinity", "-telemetry", "t.csv"},
 		{"-tenants", "5", "-tenant-skew", "0"},
+		{"-serve"},
+		{"-serve", "-dilation", "0.5", "-inflight", "4", "-drop=false"},
+		{"-serve", "-curve", "zorder", "-r", "0", "-deadline-min", "0"},
 	}
 	for _, args := range cases {
 		if err := parse(t, args...).validate(); err != nil {

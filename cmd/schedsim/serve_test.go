@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"sfcsched/internal/disk"
+	"sfcsched/internal/workload"
+)
+
+func TestRunServeCalibReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock run")
+	}
+	o := parse(t, "-serve", "-requests", "80", "-dilation", "200")
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := disk.NewModel(disk.QuantumXP32150Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := workload.Open{
+		Seed:             o.seed,
+		Count:            o.requests,
+		MeanInterarrival: o.interarrival.Microseconds(),
+		Dims:             o.dims,
+		Levels:           o.levels,
+		DeadlineMin:      o.deadlineMin.Microseconds(),
+		DeadlineMax:      o.deadlineMax.Microseconds(),
+		Cylinders:        m.Cylinders,
+		SizeMin:          o.sizeMin,
+		SizeMax:          o.sizeMax,
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	start := time.Now()
+	if err := runServeCalib(&buf, *o, m, trace); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"calibrate: 80 requests, dilation 200, in-flight 1, drop=true",
+		"\n  sim ", "\n  live", "aligned ", "latency MAPE", "order r",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "aligned 0/") {
+		t.Errorf("calibration aligned nothing:\n%s", out)
+	}
+	if elapsed := time.Since(start); elapsed > time.Minute {
+		t.Errorf("calibration took %v; dilation should compress the run", elapsed)
+	}
+}

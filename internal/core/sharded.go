@@ -62,6 +62,12 @@ type ShardedScheduler struct {
 	// without touching every shard lock on the hot path.
 	depth atomic.Int64
 
+	// closed marks the ingress shut (Close). Producers observe it under
+	// the shard lock inside TryAdd, which is what makes the Close/Drain
+	// handoff lossless: every accepted request is visible to a subsequent
+	// Drain, and every request racing past Close is visibly rejected.
+	closed atomic.Bool
+
 	m *Metrics // never nil; DefaultMetrics unless overridden
 }
 
@@ -191,8 +197,22 @@ func (s *ShardedScheduler) observeHead(head int) uint64 {
 }
 
 // Add enqueues r, computing its characterization value at time now with
-// the disk head at cylinder head. Safe for concurrent use.
+// the disk head at cylinder head. Safe for concurrent use. On a closed
+// scheduler the request is rejected; callers that must know (serving
+// ingress paths) use TryAdd.
 func (s *ShardedScheduler) Add(r *Request, now int64, head int) {
+	s.TryAdd(r, now, head)
+}
+
+// TryAdd enqueues r like Add and reports whether the scheduler accepted
+// it. After Close every TryAdd returns false and the request is not
+// queued, so a producer can account for (or re-route) it — requests are
+// either visibly rejected or dispatched exactly once, never silently
+// lost. Safe for concurrent use.
+func (s *ShardedScheduler) TryAdd(r *Request, now int64, head int) bool {
+	if s.closed.Load() {
+		return false
+	}
 	prog := s.observeHead(head)
 	e := entry{
 		v:   s.enc.ValueAt(r, now, head, prog),
@@ -202,10 +222,19 @@ func (s *ShardedScheduler) Add(r *Request, now int64, head int) {
 	// Fibonacci hash of the request ID spreads dense IDs across shards.
 	sh := &s.shards[(r.ID*0x9E3779B97F4A7C15)>>32&s.mask]
 	sh.mu.Lock()
+	// Re-check under the lock: Close may have landed between the fast-path
+	// check and the push. Drain acquires every shard lock after setting
+	// closed, so a push that wins this lock with closed still false is
+	// guaranteed to be seen by the drain; one that loses is rejected here.
+	if s.closed.Load() {
+		sh.mu.Unlock()
+		return false
+	}
 	sh.h.Push(e)
 	sh.mu.Unlock()
 	s.m.Adds.Inc()
 	s.m.QueueDepthHiWater.Observe(s.depth.Add(1))
+	return true
 }
 
 // Next dispatches the globally minimum-value request, or nil when empty.
@@ -248,6 +277,57 @@ func (s *ShardedScheduler) Len() int {
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// Close shuts the ingress: every subsequent TryAdd returns false (and Add
+// becomes a no-op) while Next, Len, Each and Drain keep working, so a
+// serving loop can stop accepting work and still hand out — or hand back —
+// everything already queued. Close is idempotent and safe to call
+// concurrently with producers mid-Add: a racing request is either accepted
+// (and then visible to Next/Drain) or visibly rejected, never stranded.
+func (s *ShardedScheduler) Close() {
+	s.closed.Store(true)
+}
+
+// Closed reports whether Close has been called.
+func (s *ShardedScheduler) Closed() bool { return s.closed.Load() }
+
+// Drain closes the scheduler and pops every remaining request in global
+// (value, sequence) order — the order Next would have dispatched them —
+// handing each to visit and returning the count. Unlike Next, drained
+// requests are not counted as dispatches: they were never served, they are
+// being handed back to the caller (for re-routing, persistence, or error
+// reporting) as part of shutdown.
+func (s *ShardedScheduler) Drain(visit func(*Request)) int {
+	s.Close()
+	n := 0
+	for {
+		best := -1
+		var bv, bs uint64
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			if sh.h.Len() > 0 {
+				t := sh.h.Peek()
+				if best < 0 || t.v < bv || (t.v == bv && t.seq < bs) {
+					best, bv, bs = i, t.v, t.seq
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if best < 0 {
+			return n
+		}
+		sh := &s.shards[best]
+		sh.mu.Lock()
+		e := sh.h.Pop()
+		sh.mu.Unlock()
+		s.depth.Add(-1)
+		n++
+		if visit != nil {
+			visit(e.req)
+		}
+	}
 }
 
 // Each visits every queued request. The snapshot is per-shard consistent;

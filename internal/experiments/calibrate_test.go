@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCalibrateReduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock run")
+	}
+	cfg := DefaultCalibrateConfig()
+	cfg.Requests = 100
+	cfg.Dilations = []float64{60, 120}
+	res, err := Calibrate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "calibrate" || len(res.X) != 2 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	names := make([]string, 0, len(res.Series))
+	for _, s := range res.Series {
+		if len(s.Y) != len(res.X) {
+			t.Errorf("series %s has %d points, want %d", s.Name, len(s.Y), len(res.X))
+		}
+		names = append(names, s.Name)
+	}
+	if got := strings.Join(names, ","); got != "mape-pct,order-r,travel-delta-pct,wall-ms" {
+		t.Errorf("series = %s", got)
+	}
+	for i := range res.X {
+		if r := res.Series[1].Y[i]; r < -1 || r > 1 {
+			t.Errorf("order-r[%d] = %v out of [-1,1]", i, r)
+		}
+		if w := res.Series[3].Y[i]; w <= 0 {
+			t.Errorf("wall-ms[%d] = %v, want positive", i, w)
+		}
+	}
+}
+
+func TestCalibrateEmptyDilationsUsesDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock run")
+	}
+	cfg := DefaultCalibrateConfig()
+	cfg.Requests = 40
+	cfg.Dilations = nil
+	// Keep the default sweep but on a tiny trace: just proves the default
+	// substitution path works end to end.
+	res, err := Calibrate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.X) != len(DefaultCalibrateConfig().Dilations) {
+		t.Errorf("empty Dilations should use the default sweep, got %v", res.X)
+	}
+}

@@ -155,7 +155,8 @@ func ratio(num, den float64) float64 {
 // experiment on the full RAID-5 array at the paper's unscaled bit rate;
 // faultsweep is the PR-5 robustness sweep over transient fault rates on
 // the degraded array; divergence is the PR-7 counterfactual
-// shadow-scheduler sweep.
+// shadow-scheduler sweep; calibrate is the PR-9 sim-vs-live serving-path
+// scoring sweep (wall-clock measurement — the one non-deterministic CSV).
 func All() []string {
-	return []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig11raid", "faultsweep", "divergence", "cluster"}
+	return []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig11raid", "faultsweep", "divergence", "cluster", "calibrate"}
 }

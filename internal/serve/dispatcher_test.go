@@ -1,0 +1,415 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sfcsched/internal/core"
+	"sfcsched/internal/disk"
+	"sfcsched/internal/sim"
+)
+
+// serveConfig is the cascaded configuration the serving tests schedule
+// with: deadline and cylinder stages over the Table 1 geometry.
+func serveConfig() core.EncapsulatorConfig {
+	return core.EncapsulatorConfig{
+		Levels:      8,
+		UseDeadline: true, DeadlineHorizon: 700_000, DeadlineSpan: 700_000, DeadlineSlack: true,
+		UseCylinder: true, R: 3, Cylinders: 3832,
+	}
+}
+
+// reqAt builds one test request with a far-off deadline.
+func reqAt(id uint64, cyl int, size int64) *core.Request {
+	return &core.Request{
+		ID:         id,
+		Priorities: []int{int(id) % 8},
+		Deadline:   600_000 + int64(id),
+		Cylinder:   cyl,
+		Size:       size,
+	}
+}
+
+// zeroArrivalTrace builds n requests all arriving at model time 0, spread
+// over the cylinder space — the preloadable trace shape of the exact-order
+// guarantee.
+func zeroArrivalTrace(n int) []*core.Request {
+	trace := make([]*core.Request, n)
+	for i := range trace {
+		trace[i] = reqAt(uint64(i+1), ((i+1)*311)%3832, 65536)
+	}
+	return trace
+}
+
+// fakeBackend serves instantly (a fixed 10 µs model cost), optionally
+// blocking on gate until it is closed or ctx is canceled.
+type fakeBackend struct {
+	gate   chan struct{}
+	served atomic.Int64
+}
+
+func (f *fakeBackend) Cylinders() int { return 0 }
+
+func (f *fakeBackend) Serve(ctx context.Context, r *core.Request, head int) (Completion, error) {
+	if f.gate != nil {
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return Completion{}, ctx.Err()
+		}
+	}
+	f.served.Add(1)
+	return Completion{Seek: 0, Service: 10}, nil
+}
+
+func newTestDispatcher(t *testing.T, cfg Config) (*Dispatcher, *Metrics) {
+	t.Helper()
+	m := &Metrics{}
+	cfg.Metrics = m
+	if cfg.Sched == nil {
+		s := core.MustShardedScheduler("", serveConfig(), 8)
+		s.SetMetrics(&core.Metrics{})
+		cfg.Sched = s
+	}
+	if cfg.Clock == nil {
+		c, err := NewClock(10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Clock = c
+	}
+	if cfg.Backend == nil {
+		cfg.Backend = &fakeBackend{}
+	}
+	cfg.KeepRecords = true
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d, m
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	s := core.MustShardedScheduler("", serveConfig(), 4)
+	s.SetMetrics(&core.Metrics{})
+	clock, _ := NewClock(100)
+	be := &fakeBackend{}
+	bad := []Config{
+		{Backend: be, Clock: clock},
+		{Sched: s, Clock: clock},
+		{Sched: s, Backend: be},
+		{Sched: s, Backend: be, Clock: clock, InFlight: -1},
+		{Sched: s, Backend: be, Clock: clock, MaxQueue: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestDispatcherServesAllConcurrentSubmitters is the serving layer's bread
+// and butter: many producers, bounded in-flight dispatch, graceful drain,
+// nothing lost and nothing served twice.
+func TestDispatcherServesAllConcurrentSubmitters(t *testing.T) {
+	d, m := newTestDispatcher(t, Config{InFlight: 4})
+	d.Start(context.Background())
+
+	const producers = 4
+	const perProducer = 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				id := uint64(p*perProducer + i + 1)
+				if err := d.Submit(context.Background(), reqAt(id, int(id*37)%3832, 4096)); err != nil {
+					t.Errorf("Submit %d: %v", id, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := d.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	const total = producers * perProducer
+	if got := m.Submitted.Load(); got != total {
+		t.Errorf("Submitted = %d, want %d", got, total)
+	}
+	if got := m.Completed.Load(); got != total {
+		t.Errorf("Completed = %d, want %d", got, total)
+	}
+	if got := m.Dispatched.Load(); got != total {
+		t.Errorf("Dispatched = %d, want %d", got, total)
+	}
+	if got := m.InFlight.Load(); got != 0 {
+		t.Errorf("InFlight = %d after drain, want 0", got)
+	}
+	if d.Outstanding() != 0 {
+		t.Errorf("Outstanding = %d after drain, want 0", d.Outstanding())
+	}
+	recs := d.Records()
+	if len(recs) != total {
+		t.Fatalf("got %d records, want %d", len(recs), total)
+	}
+	seen := make(map[uint64]bool, total)
+	for i, rec := range recs {
+		if rec.Seq != i {
+			t.Fatalf("record %d has seq %d: dispatch sequence not dense", i, rec.Seq)
+		}
+		if seen[rec.ID] {
+			t.Fatalf("request %d recorded twice", rec.ID)
+		}
+		seen[rec.ID] = true
+		if rec.Dropped || rec.Abandoned {
+			t.Fatalf("request %d marked dropped/abandoned on a clean run", rec.ID)
+		}
+		if rec.Done < rec.Dispatch {
+			t.Fatalf("request %d completed at %d before its dispatch at %d", rec.ID, rec.Done, rec.Dispatch)
+		}
+	}
+
+	// The ingress stays closed after a drain.
+	if err := d.Submit(context.Background(), reqAt(9999, 0, 4096)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Drain = %v, want ErrClosed", err)
+	}
+	if got := m.Rejected.Load(); got != 1 {
+		t.Errorf("Rejected = %d, want 1", got)
+	}
+}
+
+// TestDispatcherExactSimOrder is the acceptance-criteria pin: on a
+// preloaded arrival-at-zero trace the live dispatcher's dispatch order is
+// bit-identical to sim.Run's, because every characterization value anchors
+// on the initial head/sweep state and Next pops a fixed queued set in pure
+// (value, sequence) order — wall-clock jitter has nothing left to perturb.
+// The guarantee is independent of the in-flight bound.
+func TestDispatcherExactSimOrder(t *testing.T) {
+	for _, inflight := range []int{1, 3} {
+		trace := zeroArrivalTrace(96)
+		model := disk.MustModel(disk.QuantumXP32150Params())
+		sm := disk.ServiceModel{Disk: model}
+
+		simSched := core.MustShardedScheduler("", serveConfig(), 8)
+		simSched.SetMetrics(&core.Metrics{})
+		var simOrder []uint64
+		if _, err := sim.Run(sim.Config{
+			Disk: model, Scheduler: simSched,
+			Options: sim.Options{Trace: func(ev sim.TraceEvent) {
+				if !ev.Dropped {
+					simOrder = append(simOrder, ev.Request.ID)
+				}
+			}},
+		}, trace); err != nil {
+			t.Fatalf("sim.Run: %v", err)
+		}
+
+		clock, _ := NewClock(50_000)
+		be, err := NewEmulatedDisk(sm, clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := newTestDispatcher(t, Config{Backend: be, Clock: clock, InFlight: inflight})
+		if err := Preload(context.Background(), d, trace); err != nil {
+			t.Fatalf("Preload: %v", err)
+		}
+		d.Start(context.Background())
+		if err := d.Drain(context.Background()); err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+
+		recs := d.Records()
+		if len(recs) != len(simOrder) {
+			t.Fatalf("inflight %d: live served %d, sim served %d", inflight, len(recs), len(simOrder))
+		}
+		for i, rec := range recs {
+			if rec.ID != simOrder[i] {
+				t.Fatalf("inflight %d: dispatch order diverges at %d: live %d, sim %d",
+					inflight, i, rec.ID, simOrder[i])
+			}
+		}
+	}
+}
+
+func TestDispatcherBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	be := &fakeBackend{gate: gate}
+	d, m := newTestDispatcher(t, Config{Backend: be, InFlight: 1, MaxQueue: 2})
+	d.Start(context.Background())
+
+	if err := d.Submit(context.Background(), reqAt(1, 100, 4096)); err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	waitFor(t, "first dispatch", func() bool { return m.Dispatched.Load() == 1 })
+	if err := d.Submit(context.Background(), reqAt(2, 200, 4096)); err != nil {
+		t.Fatalf("Submit 2: %v", err)
+	}
+	// Quota is now exhausted (one serving, one queued): the third submit
+	// must block until a completion frees it.
+	third := make(chan error, 1)
+	go func() { third <- d.Submit(context.Background(), reqAt(3, 300, 4096)) }()
+	waitFor(t, "backpressure wait", func() bool { return m.BackpressureWaits.Load() == 1 })
+	select {
+	case err := <-third:
+		t.Fatalf("third Submit returned early: %v", err)
+	default:
+	}
+	close(gate)
+	if err := <-third; err != nil {
+		t.Fatalf("third Submit after release: %v", err)
+	}
+	if err := d.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := m.Completed.Load(); got != 3 {
+		t.Fatalf("Completed = %d, want 3", got)
+	}
+}
+
+// TestDispatcherBackpressureSubmitCancel pins that a submitter blocked on
+// the quota can bail out via its own context.
+func TestDispatcherBackpressureSubmitCancel(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	be := &fakeBackend{gate: gate}
+	d, m := newTestDispatcher(t, Config{Backend: be, InFlight: 1, MaxQueue: 1})
+	d.Start(context.Background())
+	if err := d.Submit(context.Background(), reqAt(1, 100, 4096)); err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := make(chan error, 1)
+	go func() { blocked <- d.Submit(ctx, reqAt(2, 200, 4096)) }()
+	waitFor(t, "backpressure wait", func() bool { return m.BackpressureWaits.Load() == 1 })
+	cancel()
+	if err := <-blocked; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Submit = %v, want context.Canceled", err)
+	}
+	d.Stop()
+}
+
+func TestDispatcherStopAbandons(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	be := &fakeBackend{gate: gate}
+	d, m := newTestDispatcher(t, Config{Backend: be, InFlight: 1})
+	d.Start(context.Background())
+	for i := 1; i <= 3; i++ {
+		if err := d.Submit(context.Background(), reqAt(uint64(i), i*100, 4096)); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	// One request reaches the backend and parks on the gate; two stay
+	// queued. Stop must cancel the former and account all three.
+	waitFor(t, "dispatch", func() bool { return m.Dispatched.Load() == 1 })
+	d.Stop()
+	if got := m.Abandoned.Load(); got != 3 {
+		t.Fatalf("Abandoned = %d, want 3", got)
+	}
+	if got := m.Completed.Load(); got != 0 {
+		t.Fatalf("Completed = %d, want 0", got)
+	}
+	var abandoned int
+	for _, rec := range d.Records() {
+		if rec.Abandoned {
+			abandoned++
+		}
+	}
+	if abandoned != 1 {
+		t.Fatalf("%d abandoned records, want 1 (the in-flight service)", abandoned)
+	}
+	// Stop is idempotent and the ingress stays shut.
+	d.Stop()
+	if err := d.Submit(context.Background(), reqAt(99, 0, 4096)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Stop = %v, want ErrClosed", err)
+	}
+}
+
+func TestDispatcherDropLate(t *testing.T) {
+	trace := []*core.Request{}
+	for i := 1; i <= 8; i++ {
+		r := reqAt(uint64(i), i*400, 4096)
+		if i%2 == 0 {
+			// The model clock is well past 1 µs by the time the loop runs.
+			r.Deadline = 1
+		}
+		trace = append(trace, r)
+	}
+	// Dilation 100: the 1 ms warm-up below puts the model clock at ~100 ms —
+	// past the 1 µs deadlines, far from the ~600 ms ones.
+	clock, _ := NewClock(100)
+	d, m := newTestDispatcher(t, Config{DropLate: true, Clock: clock})
+	if err := Preload(context.Background(), d, trace); err != nil {
+		t.Fatalf("Preload: %v", err)
+	}
+	time.Sleep(time.Millisecond)
+	d.Start(context.Background())
+	if err := d.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := m.Dropped.Load(); got != 4 {
+		t.Fatalf("Dropped = %d, want 4", got)
+	}
+	if got := m.Completed.Load(); got != 4 {
+		t.Fatalf("Completed = %d, want 4", got)
+	}
+	for _, rec := range d.Records() {
+		if want := rec.ID%2 == 0; rec.Dropped != want {
+			t.Fatalf("request %d: dropped = %v, want %v", rec.ID, rec.Dropped, want)
+		}
+	}
+}
+
+func TestDispatcherHeadTracking(t *testing.T) {
+	model := disk.MustModel(disk.QuantumXP32150Params())
+	clock, _ := NewClock(50_000)
+	be, _ := NewEmulatedDisk(disk.ServiceModel{Disk: model}, clock)
+	d, m := newTestDispatcher(t, Config{Backend: be, Clock: clock, InFlight: 1})
+	trace := []*core.Request{reqAt(1, 1000, 4096), reqAt(2, 3000, 4096), reqAt(3, 2000, 4096)}
+	if err := Preload(context.Background(), d, trace); err != nil {
+		t.Fatal(err)
+	}
+	d.Start(context.Background())
+	if err := d.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Whatever order the scheduler chose, total travel is the sum of the
+	// per-record head-to-target distances starting from cylinder 0.
+	var travel int64
+	head := 0
+	for _, rec := range d.Records() {
+		if rec.Head != head {
+			t.Fatalf("record %d departs from head %d, dispatcher head was %d", rec.ID, rec.Head, head)
+		}
+		travel += int64(absInt(rec.Target - rec.Head))
+		head = rec.Target
+	}
+	if d.HeadTravel() != travel {
+		t.Fatalf("HeadTravel = %d, records sum to %d", d.HeadTravel(), travel)
+	}
+	if got := int64(m.HeadTravelCylinders.Load()); got != travel {
+		t.Fatalf("HeadTravelCylinders = %d, want %d", got, travel)
+	}
+	if d.Head() != head {
+		t.Fatalf("Head = %d, want %d", d.Head(), head)
+	}
+}

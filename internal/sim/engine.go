@@ -88,21 +88,19 @@ func (s *Station) Enqueue(r *core.Request, now int64) {
 
 // serviceTimeAt returns (seekTime, totalServiceTime) for a service of
 // size bytes at the (already clamped, possibly remapped) cylinder cyl.
-// Exactly one RNG draw happens per sampled-rotation service, in dispatch
-// order, which keeps runs reproducible.
+// The computation lives in disk.ServiceModel — the same code path the
+// real-clock backends of internal/serve charge — so simulated and served
+// requests can never disagree on what a service costs. Exactly one RNG
+// draw happens per sampled-rotation service, in dispatch order, which
+// keeps runs reproducible.
 func (s *Station) serviceTimeAt(cyl int, size int64, rng *stats.RNG) (int64, int64) {
-	if s.FixedService > 0 {
-		return 0, s.FixedService
+	m := disk.ServiceModel{
+		Disk:           s.Disk,
+		TransferOnly:   s.TransferOnly,
+		FixedService:   s.FixedService,
+		SampleRotation: s.SampleRotation,
 	}
-	if s.TransferOnly {
-		return 0, s.Disk.TransferTime(cyl, size)
-	}
-	seek := s.Disk.SeekTime(s.head, cyl)
-	rot := s.Disk.AvgRotationalLatency()
-	if s.SampleRotation {
-		rot = s.Disk.RotationalLatency(rng)
-	}
-	return seek, seek + rot + s.Disk.TransferTime(cyl, size)
+	return m.Times(s.head, cyl, size, rng)
 }
 
 // timerSeqBase offsets timer-event sequence numbers above every station

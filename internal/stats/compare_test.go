@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMAPE(t *testing.T) {
+	cases := []struct {
+		name         string
+		pred, actual []float64
+		want         float64 // NaN for the undefined cases
+	}{
+		{"exact", []float64{1, 2, 3}, []float64{1, 2, 3}, 0},
+		{"ten percent high", []float64{110, 220}, []float64{100, 200}, 10},
+		{"mixed sign errors", []float64{90, 110}, []float64{100, 100}, 10},
+		{"zero actual skipped", []float64{5, 110}, []float64{0, 100}, 10},
+		{"all zero actuals", []float64{5, 6}, []float64{0, 0}, math.NaN()},
+		{"length mismatch", []float64{1}, []float64{1, 2}, math.NaN()},
+		{"empty", nil, nil, math.NaN()},
+	}
+	for _, tc := range cases {
+		got := MAPE(tc.pred, tc.actual)
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: MAPE = %v, want NaN", tc.name, got)
+			}
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: MAPE = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPearson(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+		want float64
+	}{
+		{"identical ranks", []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3}, 1},
+		{"scaled and shifted", []float64{0, 1, 2, 3}, []float64{10, 12, 14, 16}, 1},
+		{"reversed", []float64{0, 1, 2, 3}, []float64{3, 2, 1, 0}, -1},
+		{"uncorrelated", []float64{1, -1, 1, -1}, []float64{1, 1, -1, -1}, 0},
+		{"constant x", []float64{5, 5, 5}, []float64{1, 2, 3}, math.NaN()},
+		{"too short", []float64{1}, []float64{2}, math.NaN()},
+		{"length mismatch", []float64{1, 2}, []float64{1}, math.NaN()},
+	}
+	for _, tc := range cases {
+		got := Pearson(tc.x, tc.y)
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Pearson = %v, want NaN", tc.name, got)
+			}
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Pearson = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// One swapped adjacent pair in a long rank vector stays close to 1 —
+	// the property the dispatch-order score leans on.
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i], y[i] = float64(i), float64(i)
+	}
+	y[40], y[41] = y[41], y[40]
+	if r := Pearson(x, y); r < 0.999 || r > 1 {
+		t.Errorf("near-identical ranks: Pearson = %v, want just under 1", r)
+	}
+}
