@@ -196,6 +196,19 @@ func run(out io.Writer, id string, o *options) error {
 		render(a)
 		render(b)
 		render(c)
+	case "replaydiff":
+		cfg := experiments.DefaultReplayDiffConfig()
+		cfg.Seed = o.seed
+		cfg.Workers = o.workers
+		if o.requests > 0 {
+			cfg.Requests = o.requests
+		}
+		a, b, err := experiments.ReplayDiff(cfg)
+		if err != nil {
+			return err
+		}
+		render(a)
+		render(b)
 	case "calibrate":
 		cfg := experiments.DefaultCalibrateConfig()
 		cfg.Seed = o.seed

@@ -77,6 +77,28 @@ func main() {
 				opt.dims = len(r.Priorities)
 			}
 		}
+	} else if opt.replayFile != "" {
+		rec, err := workload.LoadReplayFile(opt.replayFile)
+		if err != nil {
+			fatal(err)
+		}
+		trace = rec.Generate()
+		// Schedulers must be built with the recorded dimensionality, as the
+		// -trace path does, so a same-build replay reproduces the recording
+		// byte for byte.
+		opt.dims = rec.Dims()
+	} else if opt.specName != "" {
+		spec, err := workload.ScenarioSpec(opt.specName, opt.seed, opt.requests, cylinders)
+		if err != nil {
+			fatal(err)
+		}
+		trace, err = spec.Generate()
+		if err != nil {
+			fatal(err)
+		}
+		// The scenarios fix their own priority shape.
+		opt.dims = spec.Dims()
+		opt.levels = 8
 	} else {
 		trace, err = workload.Open{
 			Seed:             opt.seed,

@@ -3,9 +3,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 
 	"sfcsched/internal/fault"
+	"sfcsched/internal/workload"
 )
 
 // options collects every schedsim flag so the flag surface can be
@@ -27,6 +29,8 @@ type options struct {
 	sizeMax      int64
 	drop         bool
 	traceFile    string
+	replayFile   string
+	specName     string
 	dispatchOut  string
 	arrayDisks   int
 	blockSize    int64
@@ -90,6 +94,8 @@ func (o *options) register(fs *flag.FlagSet) {
 	fs.Int64Var(&o.sizeMax, "size-max", 256<<10, "transfer size of the lowest priority, bytes")
 	fs.BoolVar(&o.drop, "drop", true, "drop requests whose deadline passed before service")
 	fs.StringVar(&o.traceFile, "trace", "", "replay a tracegen CSV file instead of generating a workload")
+	fs.StringVar(&o.replayFile, "replay", "", "re-execute a recorded trace (a -dispatch-trace JSONL or a tracegen CSV) instead of generating a workload; pass the recording run's scheduler flags for a byte-identical replay")
+	fs.StringVar(&o.specName, "spec", "", "generate a built-in multi-client scenario instead of the open Poisson workload: steady, flash, diurnal, mixed")
 	fs.StringVar(&o.dispatchOut, "dispatch-trace", "", "write a JSONL stream of dispatch decisions to this file (- for stdout)")
 	fs.StringVar(&o.decisionOut, "decision-trace", "", "write a JSONL stream of per-dispatch decision records (candidate set, slack distribution, window) to this file (- for stdout)")
 	fs.StringVar(&o.shadowList, "shadow", "", "comma-separated shadow schedulers to ride the run counterfactually (e.g. scan-edf,fcfs); reports divergence after the run")
@@ -128,7 +134,28 @@ func (o *options) register(fs *flag.FlagSet) {
 // validate rejects inconsistent flag combinations with a specific error
 // before any model or trace work begins.
 func (o *options) validate() error {
-	if o.traceFile == "" {
+	sources := 0
+	for _, s := range []string{o.traceFile, o.replayFile, o.specName} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return fmt.Errorf("-trace, -replay and -spec are mutually exclusive workload sources")
+	}
+	if o.specName != "" {
+		known := false
+		for _, n := range workload.Scenarios() {
+			known = known || n == o.specName
+		}
+		if !known {
+			return fmt.Errorf("unknown -spec %q (known: %s)", o.specName, strings.Join(workload.Scenarios(), ", "))
+		}
+		if o.requests <= 0 {
+			return fmt.Errorf("-requests must be positive, got %d", o.requests)
+		}
+	}
+	if sources == 0 {
 		if o.requests <= 0 {
 			return fmt.Errorf("-requests must be positive, got %d", o.requests)
 		}

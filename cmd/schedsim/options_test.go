@@ -72,6 +72,10 @@ func TestValidateRejectsBadFlagCombinations(t *testing.T) {
 		{"serve with decision trace", []string{"-serve", "-decision-trace", "-"}, "-decision-trace"},
 		{"serve with telemetry", []string{"-serve", "-telemetry", "-"}, "-telemetry"},
 		{"serve with dispatch trace", []string{"-serve", "-dispatch-trace", "-"}, "-dispatch-trace"},
+		{"trace with replay", []string{"-trace", "run.csv", "-replay", "run.jsonl"}, "mutually exclusive"},
+		{"replay with spec", []string{"-replay", "run.jsonl", "-spec", "mixed"}, "mutually exclusive"},
+		{"unknown spec", []string{"-spec", "tsunami"}, "-spec"},
+		{"spec zero requests", []string{"-spec", "flash", "-requests", "0"}, "-requests"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -94,6 +98,9 @@ func TestValidateAcceptsGoodFlagCombinations(t *testing.T) {
 		{"-fault-rate", "1", "-retry-base", "0"},
 		// Trace replay skips the workload-shape checks entirely.
 		{"-trace", "run.csv", "-requests", "0", "-dims", "0"},
+		{"-replay", "run.jsonl", "-requests", "0", "-dims", "0"},
+		{"-spec", "mixed", "-sched", "all"},
+		{"-spec", "diurnal", "-requests", "2000", "-cluster", "2"},
 		{"-cluster", "4", "-router", "least", "-admit", "token", "-tenants", "8", "-tenant-zones", "-classes", "3"},
 		{"-cluster", "2", "-cluster-disks", "3", "-router", "affinity", "-telemetry", "t.csv"},
 		{"-tenants", "5", "-tenant-skew", "0"},

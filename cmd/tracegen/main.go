@@ -6,12 +6,19 @@
 //
 //	tracegen -kind open -requests 5000 > open.csv
 //	tracegen -kind streams -users 80 -duration 40s > streams.csv
+//	tracegen -kind flash -requests 3000 > flash.csv
+//
+// Besides open and streams, every multi-client scenario from
+// workload.Scenarios() (steady, flash, diurnal, mixed) is a valid -kind;
+// the emitted CSV feeds straight into schedsim -replay.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 	"time"
 
 	"sfcsched/internal/core"
@@ -20,7 +27,7 @@ import (
 
 func main() {
 	var (
-		kind         = flag.String("kind", "open", "workload kind: open or streams")
+		kind         = flag.String("kind", "open", "workload kind: open, streams, or a scenario ("+strings.Join(workload.Scenarios(), ", ")+")")
 		seed         = flag.Uint64("seed", 1, "workload seed")
 		requests     = flag.Int("requests", 5000, "open: request count")
 		interarrival = flag.Duration("interarrival", 25*time.Millisecond, "open: mean interarrival")
@@ -70,7 +77,17 @@ func main() {
 			Burst:       3,
 		}.Generate()
 	default:
-		err = fmt.Errorf("unknown kind %q", *kind)
+		if slices.Contains(workload.Scenarios(), *kind) {
+			var spec workload.Spec
+			spec, err = workload.ScenarioSpec(*kind, *seed, *requests, *cylinders)
+			if err == nil {
+				outDims = spec.Dims()
+				trace, err = spec.Generate()
+			}
+		} else {
+			err = fmt.Errorf("unknown kind %q (known: open, streams, %s)",
+				*kind, strings.Join(workload.Scenarios(), ", "))
+		}
 	}
 	if err == nil {
 		err = workload.WriteCSV(os.Stdout, trace, outDims)

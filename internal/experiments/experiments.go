@@ -158,5 +158,5 @@ func ratio(num, den float64) float64 {
 // shadow-scheduler sweep; calibrate is the PR-9 sim-vs-live serving-path
 // scoring sweep (wall-clock measurement — the one non-deterministic CSV).
 func All() []string {
-	return []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig11raid", "faultsweep", "divergence", "cluster", "calibrate"}
+	return []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig11raid", "faultsweep", "divergence", "cluster", "replaydiff", "calibrate"}
 }

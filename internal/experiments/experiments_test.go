@@ -295,8 +295,8 @@ func TestResultRenderAndValidation(t *testing.T) {
 
 func TestAllListsEveryExperiment(t *testing.T) {
 	ids := All()
-	if len(ids) != 13 {
-		t.Errorf("want 13 experiments, got %v", ids)
+	if len(ids) != 14 {
+		t.Errorf("want 14 experiments, got %v", ids)
 	}
 }
 

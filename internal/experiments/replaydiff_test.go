@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func smallReplayDiff() ReplayDiffConfig {
+	cfg := DefaultReplayDiffConfig()
+	cfg.Requests = 600
+	return cfg
+}
+
+// The headline regression guarantee: every scenario × scheduler replays
+// byte-identically on the same build, so the divergence result is all
+// zeros.
+func TestReplayDiffIsZeroDivergence(t *testing.T) {
+	drops, diverged, err := ReplayDiff(smallReplayDiff())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drops.X) != 4 || len(diverged.Series) != 3 {
+		t.Fatalf("unexpected shape: %d scenarios, %d scheduler series", len(drops.X), len(diverged.Series))
+	}
+	for _, s := range diverged.Series {
+		for i, v := range s.Y {
+			if v != 0 {
+				t.Errorf("scheduler %s diverged on scenario %d", s.Name, i)
+			}
+		}
+	}
+	// The scenarios must actually stress the schedulers differently: the
+	// flash crowd and diurnal peaks drop more than steady state.
+	for _, s := range drops.Series {
+		if s.Y[1] <= s.Y[0] {
+			t.Errorf("scheduler %s: flash scenario dropped %.2f%%, steady %.2f%% — flash should be worse",
+				s.Name, s.Y[1], s.Y[0])
+		}
+	}
+}
+
+func TestReplayDiffUnknownScenario(t *testing.T) {
+	cfg := smallReplayDiff()
+	cfg.Scenarios = []string{"bogus"}
+	if _, _, err := ReplayDiff(cfg); err == nil {
+		t.Error("unknown scenario did not error")
+	}
+}
+
+func replayDiffCSV(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg := smallReplayDiff()
+	cfg.Workers = workers
+	drops, diverged, err := ReplayDiff(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	drops.RenderCSV(&buf)
+	diverged.RenderCSV(&buf)
+	return buf.Bytes()
+}
+
+func TestReplayDiffIdenticalAcrossWorkers(t *testing.T) {
+	want := replayDiffCSV(t, 1)
+	for _, w := range []int{2, 8} {
+		if got := replayDiffCSV(t, w); !bytes.Equal(got, want) {
+			t.Errorf("replaydiff CSV diverges at workers=%d:\nworkers=1:\n%s\nworkers=%d:\n%s",
+				w, want, w, got)
+		}
+	}
+}

@@ -3,12 +3,15 @@ package sim
 // FuzzEngineDeterminism: two runs with identical Options + seed + fault
 // plan must produce byte-identical TraceEvent streams, collectors and
 // fault metrics — the replay-identity guarantee behind every golden test
-// and the failure-replay harness, extended over the fault path. A third
-// arm replays the same run in parallel cells (fuzzed worker count, each
-// cell on its own Reuse) and demands the identical event stream from
-// every cell.
+// and the failure-replay harness, extended over the fault path. A second
+// arm records the run's JSONL, loads it back through workload.LoadReplay
+// and re-executes it, demanding a byte-identical recording; a third arm
+// replays the same run in parallel cells (fuzzed worker count, each cell
+// on its own Reuse) and demands the identical event stream from every
+// cell.
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
 	"testing"
@@ -92,6 +95,31 @@ func FuzzEngineDeterminism(f *testing.F) {
 		}
 		if res1.HeadTravel != res2.HeadTravel {
 			t.Fatal("head travel diverged between identical runs")
+		}
+
+		// Record→replay arm: the JSONL the run emits, loaded back as a
+		// workload and re-executed, must reproduce the recording byte for
+		// byte. Fault retries log the same request ID on every attempt, so
+		// a non-zero transient rate exercises the reader's dedupe.
+		record := func(reqs []*core.Request) *bytes.Buffer {
+			var buf bytes.Buffer
+			if _, err := Run(Config{Disk: m, Scheduler: sched.NewSCANEDF(50_000),
+				Options: Options{DropLate: drop, Seed: seed, SampleRotation: true,
+					Fault: plan, Trace: JSONLTrace(&buf)}}, reqs); err != nil {
+				t.Fatal(err)
+			}
+			return &buf
+		}
+		recA := record(smallTraceCopy(trace))
+		rec, err := workload.LoadReplay(bytes.NewReader(recA.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Len() != len(trace) {
+			t.Fatalf("replay reconstructed %d requests from the recording, want %d", rec.Len(), len(trace))
+		}
+		if recB := record(rec.Generate()); !bytes.Equal(recA.Bytes(), recB.Bytes()) {
+			t.Fatal("replayed run diverged from its own recording")
 		}
 
 		// Parallel arm: the same run fanned out as independent cells, each

@@ -1,0 +1,110 @@
+package sim
+
+// Record→replay round trip: a run recorded through JSONLTrace, loaded by
+// workload.LoadReplay, and re-executed on a fresh scheduler of the same
+// build must reproduce the original byte for byte — same JSONL, same
+// trace-event stream, same collectors. This is the regression gate the
+// replaydiff experiment and the CI tracediff smoke rest on.
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sfcsched/internal/workload"
+)
+
+func TestReplayRoundTripGolden(t *testing.T) {
+	m := xp()
+	for name, mk := range goldenSchedulers(m) {
+		for _, seed := range []uint64{1, 7} {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				trace := goldenTrace(seed, m)
+
+				var bufA, bufB bytes.Buffer
+				var evA, evB []flatEvent
+				record := JSONLTrace(&bufA)
+				resA, err := Run(Config{
+					Disk: m, Scheduler: mk(),
+					Options: Options{DropLate: true, Trace: func(ev TraceEvent) {
+						record(ev)
+						evA = append(evA, flatten(ev))
+					}},
+				}, smallTraceCopy(trace))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				rec, err := workload.LoadReplay(bytes.NewReader(bufA.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rec.Len() != len(trace) {
+					t.Fatalf("replay reconstructed %d requests, recorded run had %d", rec.Len(), len(trace))
+				}
+				replayed := rec.Generate()
+				for i := range trace {
+					if !reflect.DeepEqual(*trace[i], *replayed[i]) {
+						t.Fatalf("request %d did not survive the round trip:\noriginal: %+v\nreplayed: %+v",
+							i, *trace[i], *replayed[i])
+					}
+				}
+
+				replay := JSONLTrace(&bufB)
+				resB, err := Run(Config{
+					Disk: m, Scheduler: mk(),
+					Options: Options{DropLate: true, Trace: func(ev TraceEvent) {
+						replay(ev)
+						evB = append(evB, flatten(ev))
+					}},
+				}, replayed)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+					t.Error("replayed JSONL diverges from the recorded run")
+				}
+				if !reflect.DeepEqual(evA, evB) {
+					t.Error("replayed trace-event stream diverges from the recorded run")
+				}
+				if !reflect.DeepEqual(resA.Collector, resB.Collector) {
+					t.Errorf("collectors diverged:\nrecorded: %+v\nreplayed: %+v", resA.Collector, resB.Collector)
+				}
+				if resA.HeadTravel != resB.HeadTravel {
+					t.Errorf("head travel %d, recorded %d", resB.HeadTravel, resA.HeadTravel)
+				}
+			})
+		}
+	}
+}
+
+// A CSV-recorded workload replays to the same run as the generator that
+// produced it (the schedsim -trace path and the -replay path agree).
+func TestReplayFromCSVMatchesGenerator(t *testing.T) {
+	m := xp()
+	trace := goldenTrace(3, m)
+	var csv bytes.Buffer
+	if err := workload.WriteCSV(&csv, trace, 2); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := workload.LoadReplay(&csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var bufA, bufB bytes.Buffer
+	mk := goldenSchedulers(m)["cascaded"]
+	if _, err := Run(Config{Disk: m, Scheduler: mk(),
+		Options: Options{DropLate: true, Trace: JSONLTrace(&bufA)}}, smallTraceCopy(trace)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Config{Disk: m, Scheduler: mk(),
+		Options: Options{DropLate: true, Trace: JSONLTrace(&bufB)}}, rec.Generate()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("CSV replay diverges from the generated run")
+	}
+}

@@ -52,6 +52,11 @@ type traceRecord struct {
 	Wait     int64  `json:"wait"`
 	Deadline int64  `json:"deadline,omitempty"`
 	Prio     []int  `json:"prio,omitempty"`
+	Size     int64  `json:"size,omitempty"`
+	Write    bool   `json:"write,omitempty"`
+	Value    int    `json:"value,omitempty"`
+	Tenant   int    `json:"tenant,omitempty"`
+	Class    int    `json:"class,omitempty"`
 	Head     int    `json:"head"`
 	Seek     int64  `json:"seek,omitempty"`
 	Service  int64  `json:"service,omitempty"`
@@ -105,6 +110,25 @@ func JSONLTrace(w io.Writer) func(TraceEvent) {
 				b = strconv.AppendInt(b, int64(p), 10)
 			}
 			b = append(b, ']')
+		}
+		if r.Size != 0 {
+			b = append(b, `,"size":`...)
+			b = strconv.AppendInt(b, r.Size, 10)
+		}
+		if r.Write {
+			b = append(b, `,"write":true`...)
+		}
+		if r.Value != 0 {
+			b = append(b, `,"value":`...)
+			b = strconv.AppendInt(b, int64(r.Value), 10)
+		}
+		if r.Tenant != 0 {
+			b = append(b, `,"tenant":`...)
+			b = strconv.AppendInt(b, int64(r.Tenant), 10)
+		}
+		if r.Class != 0 {
+			b = append(b, `,"class":`...)
+			b = strconv.AppendInt(b, int64(r.Class), 10)
 		}
 		b = append(b, `,"head":`...)
 		b = strconv.AppendInt(b, int64(ev.Head), 10)

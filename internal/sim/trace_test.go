@@ -70,10 +70,10 @@ func TestJSONLTraceStream(t *testing.T) {
 func TestJSONLTraceMatchesEncodingJSON(t *testing.T) {
 	events := []TraceEvent{
 		{Now: 0, Request: &core.Request{}},
-		{Now: 123, DiskID: 3, Request: &core.Request{ID: 7, Cylinder: 42, Arrival: 100, Deadline: 999, Priorities: []int{0, 5, 2}}, Head: 17, Seek: 4, Service: 9, QueueLen: 2},
-		{Now: 50, Request: &core.Request{ID: 1, Arrival: 75, Priorities: []int{}}, Dropped: true},
-		{Now: 1 << 40, Request: &core.Request{ID: ^uint64(0), Cylinder: -1, Arrival: -5, Deadline: -3, Priorities: []int{-2}}, Head: -9, Seek: -1, Service: -1, Faulted: true, QueueLen: -4},
-		{Now: 10, DiskID: 1, Request: &core.Request{ID: 2, Arrival: 10, Deadline: 20}, Dropped: true, Faulted: true, QueueLen: 6},
+		{Now: 123, DiskID: 3, Request: &core.Request{ID: 7, Cylinder: 42, Arrival: 100, Deadline: 999, Priorities: []int{0, 5, 2}, Size: 64, Write: true, Value: 12, Tenant: 3, Class: 1}, Head: 17, Seek: 4, Service: 9, QueueLen: 2},
+		{Now: 50, Request: &core.Request{ID: 1, Arrival: 75, Priorities: []int{}, Size: 128}, Dropped: true},
+		{Now: 1 << 40, Request: &core.Request{ID: ^uint64(0), Cylinder: -1, Arrival: -5, Deadline: -3, Priorities: []int{-2}, Size: -7, Value: -8, Tenant: -1, Class: -2}, Head: -9, Seek: -1, Service: -1, Faulted: true, QueueLen: -4},
+		{Now: 10, DiskID: 1, Request: &core.Request{ID: 2, Arrival: 10, Deadline: 20, Write: true, Class: 2}, Dropped: true, Faulted: true, QueueLen: 6},
 	}
 	var got bytes.Buffer
 	hook := JSONLTrace(&got)
@@ -85,7 +85,9 @@ func TestJSONLTraceMatchesEncodingJSON(t *testing.T) {
 		if err := enc.Encode(traceRecord{
 			Now: ev.Now, Disk: ev.DiskID, ID: r.ID, Cylinder: r.Cylinder,
 			Arrival: r.Arrival, Wait: ev.Now - r.Arrival, Deadline: r.Deadline,
-			Prio: r.Priorities, Head: ev.Head, Seek: ev.Seek, Service: ev.Service,
+			Prio: r.Priorities, Size: r.Size, Write: r.Write, Value: r.Value,
+			Tenant: r.Tenant, Class: r.Class,
+			Head: ev.Head, Seek: ev.Seek, Service: ev.Service,
 			Dropped: ev.Dropped, Faulted: ev.Faulted, Queue: ev.QueueLen,
 		}); err != nil {
 			t.Fatal(err)

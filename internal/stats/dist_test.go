@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// Table-driven statistical validation of every continuous sampler the
+// workload generators draw inter-arrival gaps from. Each row pins, under a
+// fixed seed: the sample mean and coefficient of variation against theory
+// (5% relative tolerance), and the Kolmogorov-Smirnov distance against the
+// closed-form CDF (bound 0.02 at n=20000, roughly twice the 5% critical
+// value — loose enough to be seed-stable, tight enough to catch a wrong
+// distribution or a broken transform). A new sampler must add a row.
+
+type distRow struct {
+	name   string
+	draw   func(r *RNG) float64
+	mean   float64                 // theoretical mean
+	cv     float64                 // theoretical stddev/mean
+	cdf    func(x float64) float64 // closed-form CDF for the KS check
+	hasCDF bool
+}
+
+func distTable() []distRow {
+	const m = 10_000.0 // scale everything near a 10 ms mean gap
+	g15 := math.Gamma(1.5)
+	return []distRow{
+		{
+			name: "exponential",
+			draw: func(r *RNG) float64 { return r.Exponential(m) },
+			mean: m, cv: 1,
+			cdf: func(x float64) float64 { return 1 - math.Exp(-x/m) }, hasCDF: true,
+		},
+		{
+			// Gamma with integer shape 2 has the Erlang closed form.
+			name: "gamma-shape2",
+			draw: func(r *RNG) float64 { return r.Gamma(2, m/2) },
+			mean: m, cv: 1 / math.Sqrt2,
+			cdf: func(x float64) float64 {
+				t := x / (m / 2)
+				return 1 - math.Exp(-t)*(1+t)
+			},
+			hasCDF: true,
+		},
+		{
+			// Gamma with shape 1/2 exercises the small-shape boost path and
+			// has the erf closed form: P(1/2, x/θ) = erf(√(x/θ)).
+			name: "gamma-shape0.5",
+			draw: func(r *RNG) float64 { return r.Gamma(0.5, 2*m) },
+			mean: m, cv: math.Sqrt2,
+			cdf:    func(x float64) float64 { return math.Erf(math.Sqrt(x / (2 * m))) },
+			hasCDF: true,
+		},
+		{
+			name: "weibull-shape2",
+			draw: func(r *RNG) float64 { return r.Weibull(2, m/g15) },
+			mean: m, cv: math.Sqrt(math.Gamma(2)-g15*g15) / g15,
+			cdf: func(x float64) float64 {
+				t := x / (m / g15)
+				return 1 - math.Exp(-t*t)
+			},
+			hasCDF: true,
+		},
+		{
+			name: "weibull-shape0.8",
+			draw: func(r *RNG) float64 { return r.Weibull(0.8, m/math.Gamma(1+1/0.8)) },
+			mean: m,
+			cv:   math.Sqrt(math.Gamma(1+2/0.8)-math.Pow(math.Gamma(1+1/0.8), 2)) / math.Gamma(1+1/0.8),
+			cdf: func(x float64) float64 {
+				return 1 - math.Exp(-math.Pow(x/(m/math.Gamma(1+1/0.8)), 0.8))
+			},
+			hasCDF: true,
+		},
+		{
+			name: "normal-level-free", // sanity row for Normal itself: mean m, sd m/4
+			draw: func(r *RNG) float64 { return r.Normal(m, m/4) },
+			mean: m, cv: 0.25,
+			cdf: func(x float64) float64 {
+				return 0.5 * (1 + math.Erf((x-m)/(m/4*math.Sqrt2)))
+			},
+			hasCDF: true,
+		},
+	}
+}
+
+// ksDistance computes the two-sided Kolmogorov-Smirnov statistic of the
+// samples against cdf.
+func ksDistance(samples []float64, cdf func(float64) float64) float64 {
+	sort.Float64s(samples)
+	n := float64(len(samples))
+	d := 0.0
+	for i, x := range samples {
+		f := cdf(x)
+		if hi := float64(i+1)/n - f; hi > d {
+			d = hi
+		}
+		if lo := f - float64(i)/n; lo > d {
+			d = lo
+		}
+	}
+	return d
+}
+
+func TestSamplerDistributions(t *testing.T) {
+	const n = 20_000
+	for _, row := range distTable() {
+		t.Run(row.name, func(t *testing.T) {
+			rng := NewRNG(7)
+			samples := make([]float64, n)
+			sum := 0.0
+			for i := range samples {
+				samples[i] = row.draw(rng)
+				sum += samples[i]
+			}
+			mean := sum / n
+			var sq float64
+			for _, x := range samples {
+				sq += (x - mean) * (x - mean)
+			}
+			cv := math.Sqrt(sq/(n-1)) / mean
+
+			if rel := math.Abs(mean-row.mean) / row.mean; rel > 0.05 {
+				t.Errorf("mean %.1f, want %.1f (rel err %.3f)", mean, row.mean, rel)
+			}
+			if math.Abs(cv-row.cv) > 0.05*math.Max(row.cv, 1) {
+				t.Errorf("CV %.4f, want %.4f", cv, row.cv)
+			}
+			if row.hasCDF {
+				if d := ksDistance(samples, row.cdf); d > 0.02 {
+					t.Errorf("KS distance %.4f exceeds 0.02", d)
+				}
+			}
+		})
+	}
+}
+
+// The samplers must be deterministic: the same seed replays the same
+// stream, and draws must always be positive (a zero or negative gap would
+// stall the arrival clock).
+func TestSamplerDeterminismAndSupport(t *testing.T) {
+	for _, row := range distTable() {
+		a, b := NewRNG(3), NewRNG(3)
+		for i := 0; i < 2000; i++ {
+			x, y := row.draw(a), row.draw(b)
+			if x != y {
+				t.Fatalf("%s: draw %d diverged between identical seeds", row.name, i)
+			}
+			if row.name != "normal-level-free" && x <= 0 {
+				t.Fatalf("%s: draw %d = %v, want positive", row.name, i, x)
+			}
+		}
+	}
+}
+
+func TestGammaWeibullPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRNG(1).Gamma(0, 1) },
+		func() { NewRNG(1).Gamma(1, 0) },
+		func() { NewRNG(1).Weibull(0, 1) },
+		func() { NewRNG(1).Weibull(1, -2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("non-positive shape/scale did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -116,6 +116,52 @@ func (r *RNG) Exponential(mean float64) float64 {
 	return -mean * math.Log(u)
 }
 
+// Gamma returns a draw from the gamma distribution with the given shape k
+// and scale θ (mean k·θ), using the Marsaglia-Tsang squeeze method; shapes
+// below 1 are boosted through Gamma(k+1)·U^(1/k). Gamma inter-arrival gaps
+// generalize the Poisson process: shape < 1 clumps arrivals into bursts
+// (CV 1/√k > 1), shape > 1 smooths them toward a pacing clock.
+func (r *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("stats: Gamma with non-positive shape or scale")
+	}
+	if shape < 1 {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Normal(0, 1)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		// Squeeze check first (cheap), exact log check second. log(0) is
+		// -Inf, which correctly rejects a zero uniform draw.
+		if u < 1-0.0331*x*x*x*x || math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Weibull returns a draw from the Weibull distribution with the given
+// shape k and scale λ (mean λ·Γ(1+1/k)), by inversion of the CDF through
+// an exponential draw. Weibull inter-arrival gaps model aging processes:
+// shape > 1 gives a rising hazard (near-periodic arrivals), shape < 1 a
+// heavy tail of long silences punctuated by clusters.
+func (r *RNG) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("stats: Weibull with non-positive shape or scale")
+	}
+	return scale * math.Pow(r.Exponential(1), 1/shape)
+}
+
 // Normal returns a draw from the normal distribution N(mu, sigma^2),
 // using the Marsaglia polar method.
 func (r *RNG) Normal(mu, sigma float64) float64 {

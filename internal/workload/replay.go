@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"sfcsched/internal/core"
+)
+
+// Replay is a workload source reconstructed from a recorded trace: either
+// a per-dispatch JSONL stream written by sim.JSONLTrace, or a request CSV
+// written by WriteCSV. It holds one canonical copy of every request and
+// regenerates the identical trace on demand, draw-free — no RNG is
+// consumed, so a replay is deterministic by construction and can be fed to
+// a different build, scheduler, or knob setting and diffed
+// dispatch-by-dispatch against the original run (cmd/tracediff).
+//
+// A dispatch trace is recorded in *dispatch* order, which is not arrival
+// order, and fault-injected runs log one line per service attempt of the
+// same request. Loading therefore dedupes by request ID (first occurrence
+// wins; every occurrence carries the same request fields) and re-sorts by
+// (arrival, ID) — exactly the generator order, because every generator
+// assigns dense IDs in stable arrival order before the run.
+type Replay struct {
+	reqs []core.Request
+	prio []int // compacted backing for all priority vectors
+	dims int
+}
+
+// replayLine is the subset of the sim.JSONLTrace line format needed to
+// reconstruct the dispatched request. Decision fields (now, wait, head,
+// seek, service, dropped, faulted, queue) are ignored: they belong to the
+// recorded run, not the workload, and are re-derived by re-simulating.
+type replayLine struct {
+	Disk     int    `json:"disk"`
+	ID       uint64 `json:"id"`
+	Cylinder int    `json:"cyl"`
+	Arrival  int64  `json:"arrival"`
+	Deadline int64  `json:"deadline"`
+	Prio     []int  `json:"prio"`
+	Size     int64  `json:"size"`
+	Write    bool   `json:"write"`
+	Value    int    `json:"value"`
+	Tenant   int    `json:"tenant"`
+	Class    int    `json:"class"`
+}
+
+// LoadReplay reads a recorded trace from r. The format is sniffed from the
+// first non-blank byte: '{' selects the JSONL dispatch-trace format,
+// anything else the WriteCSV request CSV.
+func LoadReplay(r io.Reader) (*Replay, error) {
+	br := bufio.NewReader(r)
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			return nil, fmt.Errorf("workload: replay source is empty: %w", err)
+		}
+		if b[0] == ' ' || b[0] == '\t' || b[0] == '\n' || b[0] == '\r' {
+			br.Discard(1)
+			continue
+		}
+		if b[0] == '{' {
+			return loadReplayJSONL(br)
+		}
+		return loadReplayCSV(br)
+	}
+}
+
+// LoadReplayFile is LoadReplay over a file path.
+func LoadReplayFile(path string) (*Replay, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: opening replay trace: %w", err)
+	}
+	defer f.Close()
+	return LoadReplay(f)
+}
+
+func loadReplayJSONL(br *bufio.Reader) (*Replay, error) {
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var lines []replayLine
+	seen := make(map[uint64]bool)
+	for n := 1; sc.Scan(); n++ {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ln replayLine
+		if err := json.Unmarshal(raw, &ln); err != nil {
+			return nil, fmt.Errorf("workload: replay line %d: %w", n, err)
+		}
+		if ln.Disk != 0 {
+			return nil, fmt.Errorf("workload: replay line %d: disk %d — array traces record physical per-disk operations, not the logical request stream, and cannot be replayed", n, ln.Disk)
+		}
+		if seen[ln.ID] {
+			// A fault retry: the same request logged again on a later
+			// attempt. The request fields are identical; keep the first.
+			continue
+		}
+		seen[ln.ID] = true
+		lines = append(lines, ln)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading replay trace: %w", err)
+	}
+	dims := 0
+	for i := range lines {
+		if d := len(lines[i].Prio); d > 0 {
+			if dims == 0 {
+				dims = d
+			} else if d != dims {
+				return nil, fmt.Errorf("workload: replay trace mixes priority dimensionalities %d and %d", dims, d)
+			}
+		}
+	}
+	p := &Replay{
+		reqs: make([]core.Request, len(lines)),
+		prio: make([]int, len(lines)*dims),
+		dims: dims,
+	}
+	for i, ln := range lines {
+		r := &p.reqs[i]
+		r.ID = ln.ID
+		r.Cylinder = ln.Cylinder
+		r.Arrival = ln.Arrival
+		r.Deadline = ln.Deadline
+		r.Size = ln.Size
+		r.Write = ln.Write
+		r.Value = ln.Value
+		r.Tenant = ln.Tenant
+		r.Class = ln.Class
+		if dims > 0 {
+			v := p.prio[i*dims : (i+1)*dims : (i+1)*dims]
+			copy(v, ln.Prio)
+			r.Priorities = v
+		}
+	}
+	p.sortCanonical()
+	return p, nil
+}
+
+func loadReplayCSV(br *bufio.Reader) (*Replay, error) {
+	trace, err := ReadCSV(br)
+	if err != nil {
+		return nil, err
+	}
+	dims := 0
+	if len(trace) > 0 {
+		dims = len(trace[0].Priorities)
+	}
+	p := &Replay{
+		reqs: make([]core.Request, 0, len(trace)),
+		prio: make([]int, 0, len(trace)*dims),
+		dims: dims,
+	}
+	seen := make(map[uint64]bool)
+	for _, r := range trace {
+		if seen[r.ID] {
+			continue
+		}
+		seen[r.ID] = true
+		p.reqs = append(p.reqs, *r)
+	}
+	p.prio = p.prio[:len(p.reqs)*dims]
+	for i := range p.reqs {
+		if dims > 0 {
+			v := p.prio[i*dims : (i+1)*dims : (i+1)*dims]
+			copy(v, p.reqs[i].Priorities)
+			p.reqs[i].Priorities = v
+		}
+	}
+	p.sortCanonical()
+	return p, nil
+}
+
+// sortCanonical restores generator order: stable by arrival, ties by ID.
+// The priority views move with their requests; the backing slab need not
+// be re-compacted.
+func (p *Replay) sortCanonical() {
+	sort.SliceStable(p.reqs, func(i, j int) bool {
+		if p.reqs[i].Arrival != p.reqs[j].Arrival {
+			return p.reqs[i].Arrival < p.reqs[j].Arrival
+		}
+		return p.reqs[i].ID < p.reqs[j].ID
+	})
+}
+
+// Len returns the number of distinct requests in the recorded trace.
+func (p *Replay) Len() int { return len(p.reqs) }
+
+// Dims returns the priority dimensionality of the recorded requests (0 if
+// none carried priorities).
+func (p *Replay) Dims() int { return p.dims }
+
+// Generate returns a fresh copy of the recorded trace in arrival order.
+// Like the generator forms it allocates every request; unlike them it
+// consumes no RNG draws — the same Replay always yields the same trace.
+func (p *Replay) Generate() []*core.Request {
+	reqs := make([]*core.Request, len(p.reqs))
+	for i := range p.reqs {
+		r := &core.Request{}
+		*r = p.reqs[i]
+		if p.dims > 0 {
+			r.Priorities = make([]int, p.dims)
+			copy(r.Priorities, p.reqs[i].Priorities)
+		}
+		reqs[i] = r
+	}
+	return reqs
+}
+
+// GenerateArena builds the same trace as Generate into a's slabs,
+// allocation-free once the slabs have grown to size. A nil arena falls
+// back to Generate.
+func (p *Replay) GenerateArena(a *Arena) []*core.Request {
+	if a == nil {
+		return p.Generate()
+	}
+	n := len(p.reqs)
+	reqs := a.requests(n)
+	prio := a.priorities(n * p.dims)
+	ptrs := a.pointers(n)
+	for i := range reqs {
+		reqs[i] = p.reqs[i]
+		if p.dims > 0 {
+			// The canonical sort moved requests but not the backing slab,
+			// so vectors are copied per request, not slab to slab.
+			v := prio[i*p.dims : (i+1)*p.dims : (i+1)*p.dims]
+			copy(v, p.reqs[i].Priorities)
+			reqs[i].Priorities = v
+		}
+		ptrs[i] = &reqs[i]
+	}
+	return ptrs
+}

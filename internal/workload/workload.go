@@ -210,13 +210,20 @@ func (w Open) MustGenerate() []*core.Request {
 }
 
 func (w Open) drawLevel(rng *stats.RNG, zipf *stats.Zipf) int {
-	switch w.Dist {
+	return drawLevel(rng, zipf, w.Dist, w.Levels)
+}
+
+// drawLevel draws one priority level under dist; zipf must be non-nil iff
+// dist is Zipf. Shared by the Open and Spec generators so every trace uses
+// the same level distributions.
+func drawLevel(rng *stats.RNG, zipf *stats.Zipf, dist PriorityDist, levels int) int {
+	switch dist {
 	case Normal:
-		return rng.NormalLevel(w.Levels, 0.25)
+		return rng.NormalLevel(levels, 0.25)
 	case Zipf:
 		return zipf.Draw()
 	default:
-		return rng.Intn(w.Levels)
+		return rng.Intn(levels)
 	}
 }
 
